@@ -1,0 +1,100 @@
+(* Experiment + micro-benchmark driver.
+
+   Usage:
+     dune exec bench/main.exe               - all experiment tables + benches
+     dune exec bench/main.exe -- exp4       - one experiment
+     dune exec bench/main.exe -- tables     - experiment tables only
+     dune exec bench/main.exe -- micro      - Bechamel micro-benchmarks only *)
+
+open Bechamel
+open Toolkit
+
+let micro_tests () =
+  let st = Random.State.make [| 123 |] in
+  let module G = Problems.Generators in
+  let module D = Problems.Decide in
+  let fp_inst = G.yes_instance st D.Multiset_equality ~m:64 ~n:12 in
+  let sort_items =
+    List.init 256 (fun i -> Printf.sprintf "%05d" ((i * 7919) mod 256))
+  in
+  let cs_inst = G.yes_instance st D.Check_sort ~m:128 ~n:10 in
+  let space = G.Checkphi.default_space ~m:8 ~n:16 in
+  let lm =
+    Listmachine.Machines.staircase_checkphi ~space
+      ~chains:(Listmachine.Machines.chains_needed ~space)
+      ~optimistic:false
+  in
+  let lm_values =
+    let i = G.Checkphi.yes st space in
+    Array.append (Problems.Instance.xs i) (Problems.Instance.ys i)
+  in
+  let ra_db = Relalg.instance_db (G.yes_instance st D.Set_equality ~m:64 ~n:10) in
+  let xml_stream =
+    Xmlq.Doc.serialize
+      (Xmlq.Doc.of_instance (G.yes_instance st D.Set_equality ~m:32 ~n:10))
+  in
+  let tm = Turing.Zoo.pair_equality () in
+  [
+    Test.make ~name:"fingerprint-multiset-eq-m64"
+      (Staged.stage (fun () -> ignore (Fingerprint.run st fp_inst)));
+    Test.make ~name:"tape-merge-sort-256"
+      (Staged.stage (fun () -> ignore (Extsort.sort sort_items)));
+    Test.make ~name:"checksort-decider-m128"
+      (Staged.stage (fun () -> ignore (Extsort.check_sort cs_inst)));
+    Test.make ~name:"staircase-lm-run-m8"
+      (Staged.stage (fun () ->
+           ignore (Listmachine.Nlm.run lm ~values:lm_values ~choices:(fun _ -> 0))));
+    Test.make ~name:"sortedness-phi-4096"
+      (Staged.stage (fun () ->
+           ignore (Util.Permutation.sortedness (Util.Permutation.reverse_binary 4096))));
+    Test.make ~name:"relalg-symdiff-m64"
+      (Staged.stage (fun () ->
+           ignore (Relalg.eval_streaming ra_db (Relalg.symmetric_difference "R1" "R2"))));
+    Test.make ~name:"xml-stream-filter-m32"
+      (Staged.stage (fun () -> ignore (Xmlq.Stream_filter.figure1_filter xml_stream)));
+    Test.make ~name:"tm-pair-equality-n32"
+      (Staged.stage (fun () ->
+           ignore
+             (Turing.Machine.run_deterministic tm
+                ~input:(String.make 32 '0' ^ "#" ^ String.make 32 '0' ^ "#"))));
+  ]
+
+let run_micro () =
+  print_endline "Micro-benchmarks (Bechamel, monotonic clock, ns/run):";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-34s %14.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "  %-34s (no estimate)\n" name)
+        analyzed)
+    (List.map (fun t -> Test.make_grouped ~name:"" ~fmt:"%s%s" [ t ]) (micro_tests ()))
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] ->
+      Harness.Experiments.run_all ();
+      run_micro ()
+  | [ "tables" ] -> Harness.Experiments.run_all ()
+  | [ "micro" ] -> run_micro ()
+  | [ name ] -> (
+      match List.assoc_opt name Harness.Experiments.all with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; available: %s, tables, micro\n" name
+            (String.concat ", " (List.map fst Harness.Experiments.all));
+          exit 1)
+  | _ ->
+      prerr_endline "usage: main.exe [expN | tables | micro]";
+      exit 1

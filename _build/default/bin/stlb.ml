@@ -1,0 +1,297 @@
+(* stlb - command-line driver for the randomized-external-memory
+   lower-bound reproduction.
+
+   Subcommands:
+     gen         generate problem instances
+     decide      run a decider (reference / sort / fingerprint / nst)
+     adversary   run the Lemma 21 attack on a staircase list machine
+     experiment  run one (or all) of the E1..E12 experiment tables
+     classes     print the paper's classification table
+     sortedness  sortedness of the reverse-binary permutation *)
+
+open Cmdliner
+
+module D = Problems.Decide
+module G = Problems.Generators
+module I = Problems.Instance
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let m_arg default =
+  let doc = "Number of strings per half (m)." in
+  Arg.(value & opt int default & info [ "m" ] ~docv:"M" ~doc)
+
+let n_arg default =
+  let doc = "Length of each string (n)." in
+  Arg.(value & opt int default & info [ "n" ] ~docv:"N" ~doc)
+
+let problem_arg =
+  let conv_problem =
+    Arg.enum
+      [
+        ("set-eq", D.Set_equality);
+        ("multiset-eq", D.Multiset_equality);
+        ("check-sort", D.Check_sort);
+      ]
+  in
+  let doc = "Problem: set-eq, multiset-eq or check-sort." in
+  Arg.(
+    value & opt conv_problem D.Multiset_equality & info [ "problem"; "p" ] ~docv:"PROBLEM" ~doc)
+
+let state_of seed = Random.State.make [| seed |]
+
+(* ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let run seed problem m n label =
+    let st = state_of seed in
+    let inst =
+      match label with
+      | `Yes -> G.yes_instance st problem ~m ~n
+      | `No -> G.no_instance st problem ~m ~n
+    in
+    print_endline (I.encode inst)
+  in
+  let label_arg =
+    let doc = "Generate a yes- or no-instance." in
+    Arg.(value & opt (Arg.enum [ ("yes", `Yes); ("no", `No) ]) `Yes
+         & info [ "label" ] ~docv:"LABEL" ~doc)
+  in
+  let doc = "Generate a problem instance (the {0,1,#} encoding, on stdout)." in
+  Cmd.v (Cmd.info "gen" ~doc)
+    Term.(const run $ seed_arg $ problem_arg $ m_arg 8 $ n_arg 12 $ label_arg)
+
+let read_instance = function
+  | Some path ->
+      let ic = open_in path in
+      let line = try input_line ic with End_of_file -> "" in
+      close_in ic;
+      I.decode (String.trim line)
+  | None -> I.decode (String.trim (input_line stdin))
+
+let decide_cmd =
+  let run seed problem algorithm file =
+    let st = state_of seed in
+    let inst = read_instance file in
+    let verdict, resources =
+      match algorithm with
+      | `Reference -> (D.decide problem inst, "(in-memory reference)")
+      | `Sort ->
+          let v, rep = Extsort.decide problem inst in
+          ( v,
+            Printf.sprintf "scans=%d registers=%d tapes=%d" rep.Extsort.scans
+              rep.Extsort.register_peak rep.Extsort.tapes )
+      | `Fingerprint ->
+          if problem <> D.Multiset_equality then
+            failwith "fingerprint solves multiset-eq only";
+          let v, rep, _ = Fingerprint.run st inst in
+          ( v,
+            Printf.sprintf "scans=%d internal-bits=%d tapes=%d" rep.Fingerprint.scans
+              rep.Fingerprint.internal_bits rep.Fingerprint.tapes )
+      | `Nst -> (
+          let v, rep = Nst.decide_with_prover problem inst in
+          match rep with
+          | Some r ->
+              ( v,
+                Printf.sprintf "scans=%d registers=%d tapes=%d" r.Nst.scans
+                  r.Nst.internal_registers r.Nst.tapes )
+          | None -> (v, "(no witness: every branch rejects)"))
+    in
+    Printf.printf "%s: %s  %s\n" (D.problem_name problem)
+      (if verdict then "YES" else "NO")
+      resources
+  in
+  let algorithm_arg =
+    let doc = "Algorithm: reference, sort (Cor 7), fingerprint (Thm 8a), nst (Thm 8b)." in
+    Arg.(
+      value
+      & opt
+          (Arg.enum
+             [
+               ("reference", `Reference);
+               ("sort", `Sort);
+               ("fingerprint", `Fingerprint);
+               ("nst", `Nst);
+             ])
+          `Sort
+      & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let file_arg =
+    let doc = "Instance file (first line, {0,1,#} encoding); stdin if omitted." in
+    Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"FILE" ~doc)
+  in
+  let doc = "Decide an instance and report the measured resources." in
+  Cmd.v (Cmd.info "decide" ~doc)
+    Term.(const run $ seed_arg $ problem_arg $ algorithm_arg $ file_arg)
+
+let adversary_cmd =
+  let run seed m chains optimistic =
+    let st = state_of seed in
+    let space = G.Checkphi.default_space ~m ~n:(2 * m) in
+    let needed = Listmachine.Machines.chains_needed ~space in
+    let chains = match chains with Some c -> c | None -> needed - 1 in
+    let machine =
+      Listmachine.Machines.staircase_checkphi ~space ~chains ~optimistic
+    in
+    Printf.printf "machine: %s (complete coverage needs %d chains)\n"
+      machine.Listmachine.Nlm.name needed;
+    match Stcore.Adversary.attack st ~space ~machine () with
+    | Stcore.Adversary.Fooled { input; i0; skeleton_classes; yes_acceptance; _ } as o ->
+        Printf.printf
+          "FOOLED: the machine accepts the following CHECK-phi NO-instance\n\
+           (uncompared index i0=%d, %d skeleton class(es), yes-acceptance %.2f):\n%s\n\
+           independent re-validation: %b\n"
+          i0 skeleton_classes yes_acceptance (I.encode input)
+          (Stcore.Adversary.verify_fooled ~space ~machine o)
+    | Stcore.Adversary.Not_fooled { reason; yes_acceptance; _ } ->
+        Printf.printf "not fooled: %s (yes-acceptance %.2f)\n" reason yes_acceptance
+    | Stcore.Adversary.Contract_violated { yes_acceptance } ->
+        Printf.printf
+          "contract violated: the machine accepts only %.2f of yes-instances\n\
+           (a (1/2,0)-solver must accept at least half)\n"
+          yes_acceptance
+  in
+  let chains_arg =
+    let doc = "Verified chains (default: one fewer than needed for completeness)." in
+    Arg.(value & opt (some int) None & info [ "chains" ] ~docv:"K" ~doc)
+  in
+  let optimistic_arg =
+    let doc = "Accept unverified pairs (default true; the honest-but-wrong mode)." in
+    Arg.(value & opt bool true & info [ "optimistic" ] ~doc)
+  in
+  let doc = "Run the Lemma 21 adversary against a staircase CHECK-phi machine." in
+  Cmd.v (Cmd.info "adversary" ~doc)
+    Term.(const run $ seed_arg $ m_arg 8 $ chains_arg $ optimistic_arg)
+
+let experiment_cmd =
+  let run name =
+    match name with
+    | "all" -> Harness.Experiments.run_all ()
+    | name -> (
+        match List.assoc_opt name Harness.Experiments.all with
+        | Some f -> f ()
+        | None ->
+            Printf.eprintf "unknown experiment %S (exp1..exp12 or all)\n" name;
+            exit 1)
+  in
+  let name_arg =
+    let doc = "Experiment name: exp1..exp12, or all." in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"NAME" ~doc)
+  in
+  let doc = "Run reproduction experiments (the EXPERIMENTS.md tables)." in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ name_arg)
+
+let classes_cmd =
+  let run () =
+    let t =
+      Util.Table.create ~title:"Paper classification results"
+        ~columns:[ "problem"; "class"; "member"; "provenance" ]
+    in
+    List.iter
+      (fun m ->
+        Util.Table.add_row t
+          [
+            m.Stcore.Classes.problem;
+            m.Stcore.Classes.class_label;
+            (if m.Stcore.Classes.member then "yes" else "NO");
+            m.Stcore.Classes.provenance;
+          ])
+      Stcore.Classes.paper_results;
+    Util.Table.print t
+  in
+  let doc = "Print every membership/non-membership the paper proves." in
+  Cmd.v (Cmd.info "classes" ~doc) Term.(const run $ const ())
+
+let sortedness_cmd =
+  let run m random seed =
+    if random then begin
+      let st = state_of seed in
+      let p = Util.Permutation.random st m in
+      Printf.printf "sortedness(random permutation of %d) = %d\n" m
+        (Util.Permutation.sortedness p)
+    end
+    else begin
+      let p = Util.Permutation.reverse_binary m in
+      Printf.printf "sortedness(phi_%d) = %d   (bound 2*sqrt(m)-1 = %.1f)\n" m
+        (Util.Permutation.sortedness p)
+        ((2.0 *. sqrt (float_of_int m)) -. 1.0)
+    end
+  in
+  let random_arg =
+    let doc = "Use a uniformly random permutation instead of phi_m." in
+    Arg.(value & flag & info [ "random" ] ~doc)
+  in
+  let doc = "Sortedness (Definition 19) of phi_m (Remark 20) or a random permutation." in
+  Cmd.v (Cmd.info "sortedness" ~doc) Term.(const run $ m_arg 1024 $ random_arg $ seed_arg)
+
+let trace_cmd =
+  let run seed m chains steps =
+    let st = state_of seed in
+    let space = G.Checkphi.default_space ~m ~n:(2 * m) in
+    let machine =
+      Listmachine.Machines.staircase_checkphi ~space ~chains ~optimistic:true
+    in
+    let inst = G.Checkphi.yes st space in
+    Printf.printf "instance: %s\n\n" (I.encode inst);
+    let values = Array.append (I.xs inst) (I.ys inst) in
+    let tr = Listmachine.Nlm.run machine ~values ~choices:(fun _ -> 0) in
+    print_string (Listmachine.Render.trace_to_string ~max_steps:steps tr);
+    print_newline ();
+    print_string
+      (Listmachine.Render.skeleton_summary (Listmachine.Skeleton.of_trace tr))
+  in
+  let chains_arg =
+    let doc = "Chains to verify." in
+    Arg.(value & opt int 1 & info [ "chains" ] ~docv:"K" ~doc)
+  in
+  let steps_arg =
+    let doc = "Steps to render before eliding." in
+    Arg.(value & opt int 8 & info [ "steps" ] ~docv:"S" ~doc)
+  in
+  let doc = "Render a list machine run (Figure 2 style) and its skeleton." in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ seed_arg $ m_arg 4 $ chains_arg $ steps_arg)
+
+let simulate_cmd =
+  let run inputs =
+    let tm = Turing.Zoo.pair_equality () in
+    let inputs =
+      match inputs with
+      | [] -> [| "0110"; "0110" |]
+      | l -> Array.of_list l
+    in
+    let r = Simulation.simulate tm ~inputs ~choices:(fun _ -> 0) in
+    Printf.printf
+      "machine: %s on %s\n\
+       verdict: %b (TM and LM agree: %b)\n\
+       TM reversals: %d   LM reversals: %d   block crossings: %d\n\n"
+      tm.Turing.Machine.name
+      (String.concat "#" (Array.to_list inputs))
+      r.Simulation.lm_trace.Listmachine.Nlm.accepted r.Simulation.agreement
+      r.Simulation.tm_ext_reversals r.Simulation.lm_reversals
+      r.Simulation.crossings;
+    print_string
+      (Listmachine.Render.trace_to_string ~max_steps:10 r.Simulation.lm_trace)
+  in
+  let inputs_arg =
+    let doc = "Input segments v1 v2 ... (default: 0110 0110)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"SEGMENTS" ~doc)
+  in
+  let doc = "Run the Lemma 16 TM->list-machine simulation and render the LM run." in
+  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ inputs_arg)
+
+let () =
+  let doc =
+    "Randomized computations on large data sets: tight lower bounds (PODS'06) \
+     - executable reproduction"
+  in
+  let info = Cmd.info "stlb" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            gen_cmd; decide_cmd; adversary_cmd; experiment_cmd; classes_cmd;
+            sortedness_cmd; trace_cmd; simulate_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/fooling_adversary.ml: Array List Listmachine Printf Problems Random Stcore Util

@@ -1,0 +1,1 @@
+examples/fooling_adversary.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Extsort Fingerprint List Printf Problems Random

@@ -1,0 +1,1 @@
+examples/relational_diff.ml: Format List Printf Problems Random Relalg

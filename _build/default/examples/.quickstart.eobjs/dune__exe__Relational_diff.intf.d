@@ -1,0 +1,1 @@
+examples/relational_diff.mli:

@@ -1,0 +1,1 @@
+examples/simulate_tm.ml: Array List Listmachine Printf Random Simulation String Turing

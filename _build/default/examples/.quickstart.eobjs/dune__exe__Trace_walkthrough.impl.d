@@ -1,0 +1,1 @@
+examples/trace_walkthrough.ml: Array List Listmachine Printf Problems Random String Turing

@@ -1,0 +1,1 @@
+examples/xml_stream_filter.ml: Format List Printf Problems Random String Util Xmlq

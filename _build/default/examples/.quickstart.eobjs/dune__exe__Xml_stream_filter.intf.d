@@ -1,0 +1,1 @@
+examples/xml_stream_filter.mli:

@@ -1,0 +1,52 @@
+(* Quickstart: the two headline algorithms on MULTISET-EQUALITY.
+
+     dune exec examples/quickstart.exe
+
+   A MULTISET-EQUALITY instance is two lists of bit strings; the
+   question is whether they agree as multisets. The paper's Theorem 8(a)
+   solves it with TWO sequential scans and O(log N) internal memory
+   (randomized, one-sided error); Corollary 7 solves it exactly with
+   O(log N) scans via tape merge sort. Both resource counts below are
+   measured by the tape substrate, not asserted. *)
+
+let () =
+  let st = Random.State.make [| 2006 |] in
+
+  (* a yes-instance and a no-instance, m = 64 strings of n = 16 bits *)
+  let yes =
+    Problems.Generators.yes_instance st Problems.Decide.Multiset_equality
+      ~m:64 ~n:16
+  in
+  let no =
+    Problems.Generators.no_instance st Problems.Decide.Multiset_equality
+      ~m:64 ~n:16
+  in
+  Printf.printf "instance size N = %d symbols\n\n" (Problems.Instance.size yes);
+
+  (* --- Theorem 8(a): randomized fingerprinting, 2 scans --- *)
+  List.iter
+    (fun (label, inst) ->
+      let verdict, rep, params = Fingerprint.run st inst in
+      Printf.printf
+        "fingerprint  %-3s -> %-5b  (scans=%d, internal bits=%d, p1=%d, p2=%d)\n"
+        label verdict rep.Fingerprint.scans rep.Fingerprint.internal_bits
+        params.Fingerprint.p1 params.Fingerprint.p2)
+    [ ("yes", yes); ("no", no) ];
+
+  print_newline ();
+
+  (* --- Corollary 7: deterministic merge sort, O(log N) scans --- *)
+  List.iter
+    (fun (label, inst) ->
+      let verdict, rep = Extsort.multiset_equality inst in
+      Printf.printf
+        "merge sort   %-3s -> %-5b  (scans=%d, registers=%d, tapes=%d)\n" label
+        verdict rep.Extsort.scans rep.Extsort.register_peak rep.Extsort.tapes)
+    [ ("yes", yes); ("no", no) ];
+
+  print_newline ();
+  print_endline
+    "The gap (2 scans vs Theta(log N) scans) is the paper's point:\n\
+     randomization with false POSITIVES allowed (co-RST) beats every\n\
+     deterministic algorithm, while Theorem 6 shows that with false\n\
+     NEGATIVES allowed (RST) no o(log N)-scan algorithm exists at all."

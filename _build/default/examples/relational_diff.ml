@@ -1,0 +1,81 @@
+(* Streaming relational algebra (Theorem 11).
+
+     dune exec examples/relational_diff.exe
+
+   Builds a small employee/contractor database, evaluates the paper's
+   query Q' = (R1 - R2) u (R2 - R1) and a few other algebra expressions
+   through the streaming evaluator, and shows the O(log N) scan growth
+   that Theorem 11(b) proves tight. *)
+
+let header title = Printf.printf "--- %s ---\n" title
+
+let () =
+  (* a readable toy database *)
+  let people_2024 =
+    Relalg.relation ~schema:[ "name"; "team" ]
+      [
+        [| "ada"; "db" |];
+        [| "grace"; "os" |];
+        [| "edsger"; "algo" |];
+        [| "barbara"; "db" |];
+      ]
+  in
+  let people_2025 =
+    Relalg.relation ~schema:[ "name"; "team" ]
+      [
+        [| "ada"; "db" |];
+        [| "edsger"; "algo" |];
+        [| "barbara"; "pl" |];
+        [| "tony"; "pl" |];
+      ]
+  in
+  let db = [ ("Y2024", people_2024); ("Y2025", people_2025) ] in
+
+  header "churn = symmetric difference (the Theorem 11(b) query Q')";
+  let churn, rep =
+    Relalg.eval_streaming db (Relalg.symmetric_difference "Y2024" "Y2025")
+  in
+  Format.printf "%a@." Relalg.pp_relation churn;
+  Printf.printf "(measured: %d scans, %d registers)\n\n" rep.Relalg.scans
+    rep.Relalg.registers;
+
+  header "db-team members who left (selection o difference)";
+  let left_db, _ =
+    Relalg.eval_streaming db
+      (Relalg.Select
+         ( Relalg.Eq (Relalg.Attr "team", Relalg.Const "db"),
+           Relalg.Diff (Relalg.Rel "Y2024", Relalg.Rel "Y2025") ))
+  in
+  Format.printf "%a@." Relalg.pp_relation left_db;
+
+  header "every (2025 person, 2024 team) combination (product via doubling)";
+  let combos, rep2 =
+    Relalg.eval_streaming db
+      (Relalg.Product
+         ( Relalg.Project ([ "name" ], Relalg.Rel "Y2025"),
+           Relalg.Rename
+             ( [ ("team", "team24") ],
+               Relalg.Project ([ "team" ], Relalg.Rel "Y2024") ) ))
+  in
+  Printf.printf "%d tuples (measured: %d scans)\n\n"
+    (List.length combos.Relalg.tuples)
+    rep2.Relalg.scans;
+
+  header "Q' emptiness decides SET-EQUALITY: scan growth with N";
+  List.iter
+    (fun m ->
+      let st = Random.State.make [| m |] in
+      let inst =
+        Problems.Generators.yes_instance st Problems.Decide.Set_equality ~m ~n:10
+      in
+      let dbi = Relalg.instance_db inst in
+      let res, r =
+        Relalg.eval_streaming dbi (Relalg.symmetric_difference "R1" "R2")
+      in
+      Printf.printf "  m=%4d tuples=%4d scans=%4d empty=%b\n" m r.Relalg.n
+        r.Relalg.scans
+        (res.Relalg.tuples = []))
+    [ 16; 64; 256; 1024 ];
+  print_endline
+    "\nScans grow logarithmically - and by Theorem 11(b) (via Theorem 6) no\n\
+     evaluation strategy can do better than Omega(log N) random accesses."

@@ -1,0 +1,52 @@
+(* XML query evaluation on document streams (Theorems 12 and 13).
+
+     dune exec examples/xml_stream_filter.exe
+
+   Encodes SET-EQUALITY instances as the paper's <instance>/<set1>/<set2>
+   documents, runs the Figure 1 XPath filter and the Theorem 12 XQuery
+   query against them, and shows the streaming implementation of the
+   filter with its measured scan count. *)
+
+let () =
+  let st = Random.State.make [| 13 |] in
+
+  (* a small instance, hand-readable *)
+  let bs = Util.Bitstring.of_string in
+  let inst =
+    Problems.Instance.make
+      [| bs "0101"; bs "1100"; bs "0011" |]
+      [| bs "0011"; bs "0101"; bs "0101" |]
+  in
+  let doc = Xmlq.Doc.of_instance inst in
+  Printf.printf "document stream (%d symbols):\n%s\n\n"
+    (Xmlq.Doc.stream_length doc) (Xmlq.Doc.serialize doc);
+
+  Printf.printf "Figure 1 XPath query:\n  %s\n\n"
+    (Format.asprintf "%a" Xmlq.Xpath.pp_path Xmlq.Xpath.figure1);
+
+  let selected = Xmlq.Xpath.select_values doc Xmlq.Xpath.figure1 in
+  Printf.printf "items selected (set1 strings missing from set2): [%s]\n"
+    (String.concat "; " selected);
+  Printf.printf "filter matches: %b\n\n" (Xmlq.Xpath.matches doc Xmlq.Xpath.figure1);
+
+  Printf.printf "Theorem 12 XQuery (set equality): %s\n\n"
+    (Xmlq.Doc.serialize (Xmlq.Xquery.eval Xmlq.Xquery.theorem12_query doc));
+
+  (* the streaming filter, with resource accounting *)
+  print_endline "streaming Figure-1 filter over growing documents:";
+  List.iter
+    (fun m ->
+      let inst, _ =
+        Problems.Generators.labelled st Problems.Decide.Set_equality ~m ~n:10
+      in
+      let stream = Xmlq.Doc.serialize (Xmlq.Doc.of_instance inst) in
+      let matches, rep = Xmlq.Stream_filter.figure1_filter stream in
+      let tree_matches = Xmlq.Xpath.matches (Xmlq.Doc.parse stream) Xmlq.Xpath.figure1 in
+      Printf.printf "  m=%4d N=%6d scans=%3d matches=%-5b (tree eval agrees: %b)\n" m
+        rep.Xmlq.Stream_filter.n rep.Xmlq.Stream_filter.scans matches
+        (matches = tree_matches))
+    [ 8; 32; 128; 512 ];
+  print_endline
+    "\nTheorem 13: any randomized filter with no false negatives needs\n\
+     Omega(log N) scans in the sublogarithmic-memory regime - the sort-based\n\
+     streaming filter above is therefore asymptotically optimal."

@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Array Hashtbl List Listmachine Option Printf Problems Random String Util

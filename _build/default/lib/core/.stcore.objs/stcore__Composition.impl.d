@@ -1,0 +1,1 @@
+lib/core/composition.ml: Array List Listmachine Printf

@@ -1,0 +1,1 @@
+lib/core/lemma26.ml: Array List Listmachine Random

@@ -1,0 +1,204 @@
+module B = Util.Bitstring
+module P = Util.Permutation
+module I = Problems.Instance
+module G = Problems.Generators
+module Nlm = Listmachine.Nlm
+module Skeleton = Listmachine.Skeleton
+
+type outcome =
+  | Fooled of {
+      input : I.t;
+      i0 : int;
+      skeleton_classes : int;
+      yes_acceptance : float;
+      choice_seed : int;
+    }
+  | Not_fooled of {
+      reason : string;
+      yes_acceptance : float;
+      skeleton_classes : int;
+    }
+  | Contract_violated of { yes_acceptance : float }
+
+(* A deterministic pseudo-random choice function: the "fixed sequence c"
+   of Lemma 26, regenerable from its seed (splitmix64-style mixing). *)
+let choice_fn ~seed ~num_choices step =
+  let z = ref (seed + (step * 0x9E3779B9) + 0x85EBCA6B) in
+  z := (!z lxor (!z lsr 16)) * 0x45D9F3B;
+  z := (!z lxor (!z lsr 16)) * 0x45D9F3B;
+  z := !z lxor (!z lsr 16);
+  (!z land max_int) mod num_choices
+
+let values_of inst = Array.append (I.xs inst) (I.ys inst)
+
+let run_with ~fuel machine ~seed inst =
+  Nlm.run ~fuel machine ~values:(values_of inst)
+    ~choices:(choice_fn ~seed ~num_choices:machine.Nlm.num_choices)
+
+let attack st ~space ~machine ?(yes_samples = 48) ?(choice_trials = 8)
+    ?(resample_tries = 32) ?(fuel = 200_000) () =
+  let phi = G.Checkphi.phi space in
+  let m = P.size phi in
+  let samples = List.init yes_samples (fun _ -> G.Checkphi.yes st space) in
+  (* Step 1 (Lemma 26): fix a choice sequence accepting many yeses. *)
+  let trials =
+    if machine.Nlm.num_choices = 1 then [ 0 ]
+    else List.init choice_trials (fun _ -> Random.State.full_int st max_int)
+  in
+  let score seed =
+    List.fold_left
+      (fun acc inst ->
+        if (run_with ~fuel machine ~seed inst).Nlm.accepted then acc + 1 else acc)
+      0 samples
+  in
+  let seed, hits =
+    List.fold_left
+      (fun (bs, bh) seed ->
+        let h = score seed in
+        if h > bh then (seed, h) else (bs, bh))
+      (List.hd trials, score (List.hd trials))
+      (List.tl trials)
+  in
+  let yes_acceptance = float_of_int hits /. float_of_int yes_samples in
+  if 2 * hits < yes_samples then Contract_violated { yes_acceptance }
+  else begin
+    (* Step 2: skeleton census over the accepting runs. *)
+    let census = Hashtbl.create 16 in
+    List.iter
+      (fun inst ->
+        let tr = run_with ~fuel machine ~seed inst in
+        if tr.Nlm.accepted then begin
+          let key = Skeleton.serialize (Skeleton.of_trace tr) in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt census key) in
+          Hashtbl.replace census key (inst :: prev)
+        end)
+      samples;
+    let skeleton_classes = Hashtbl.length census in
+    let _, best_class =
+      Hashtbl.fold
+        (fun _ insts (bn, bi) ->
+          let n = List.length insts in
+          if n > bn then (n, insts) else (bn, bi))
+        census (0, [])
+    in
+    let witness = List.hd best_class in
+    let witness_trace = run_with ~fuel machine ~seed witness in
+    let zeta = Skeleton.of_trace witness_trace in
+    (* Step 3 (Claim 3): an uncompared pair index. *)
+    match Skeleton.uncompared_phi_indices zeta ~m ~phi with
+    | [] ->
+        Not_fooled
+          {
+            reason = "every pair (i, m+phi(i)) is compared in the skeleton";
+            yes_acceptance;
+            skeleton_classes;
+          }
+    | i0 :: _ -> begin
+        (* Steps 4-5: find v, w in the class differing only in the value
+           at x-position i0 (hence also at y-position phi(i0)). First look
+           for a sampled pair, then actively resample the i0 value. *)
+        let key_of inst =
+          String.concat "#"
+            (List.filteri
+               (fun idx _ -> idx <> i0 - 1)
+               (Array.to_list (Array.map B.to_string (I.xs inst))))
+        in
+        let groups = Hashtbl.create 16 in
+        List.iter
+          (fun inst ->
+            let k = key_of inst in
+            let prev = Option.value ~default:[] (Hashtbl.find_opt groups k) in
+            Hashtbl.replace groups k (inst :: prev))
+          best_class;
+        let sampled_pair =
+          Hashtbl.fold
+            (fun _ insts acc ->
+              match acc with
+              | Some _ -> acc
+              | None -> (
+                  match insts with
+                  | a :: rest -> (
+                      match
+                        List.find_opt
+                          (fun b -> not (B.equal (I.x a i0) (I.x b i0)))
+                          rest
+                      with
+                      | Some b -> Some (a, b)
+                      | None -> None)
+                  | [] -> None))
+            groups None
+        in
+        let resampled_pair () =
+          (* perturb the witness at position i0 within its interval and
+             keep variants whose run has skeleton ζ and accepts *)
+          let intervals = G.Checkphi.intervals space in
+          let inv = P.inverse phi in
+          let rec try_ n =
+            if n = 0 then None
+            else begin
+              let fresh =
+                Problems.Intervals.random_element st intervals (P.apply phi i0)
+              in
+              if B.equal fresh (I.x witness i0) then try_ (n - 1)
+              else begin
+                let xs = I.xs witness in
+                xs.(i0 - 1) <- fresh;
+                let ys = Array.init m (fun j0 -> xs.(P.apply inv (j0 + 1) - 1)) in
+                let candidate = I.make xs ys in
+                let tr = run_with ~fuel machine ~seed candidate in
+                if
+                  tr.Nlm.accepted
+                  && Skeleton.equal (Skeleton.of_trace tr) zeta
+                then Some (witness, candidate)
+                else try_ (n - 1)
+              end
+            end
+          in
+          try_ resample_tries
+        in
+        match
+          (match sampled_pair with Some p -> Some p | None -> resampled_pair ())
+        with
+        | None ->
+            Not_fooled
+              {
+                reason =
+                  Printf.sprintf
+                    "no same-skeleton pair differing only at i0=%d found" i0;
+                yes_acceptance;
+                skeleton_classes;
+              }
+        | Some (v, w) -> begin
+            (* Step 6 (Lemma 34): cross the halves. *)
+            let u = I.make (I.xs v) (I.ys w) in
+            let tr = run_with ~fuel machine ~seed u in
+            if tr.Nlm.accepted && not (G.Checkphi.is_yes space u) then
+              Fooled
+                {
+                  input = u;
+                  i0;
+                  skeleton_classes;
+                  yes_acceptance;
+                  choice_seed = seed;
+                }
+            else
+              Not_fooled
+                {
+                  reason =
+                    (if tr.Nlm.accepted then
+                       "composed input unexpectedly a yes-instance"
+                     else "machine rejected the composed input");
+                  yes_acceptance;
+                  skeleton_classes;
+                }
+          end
+      end
+  end
+
+let verify_fooled ~space ~machine outcome =
+  match outcome with
+  | Fooled f ->
+      G.Checkphi.member space f.input
+      && (not (G.Checkphi.is_yes space f.input))
+      && (run_with ~fuel:200_000 machine ~seed:f.choice_seed f.input).Nlm.accepted
+  | Not_fooled _ | Contract_violated _ -> false

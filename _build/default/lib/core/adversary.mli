@@ -1,0 +1,68 @@
+(** The executable Lemma 21 adversary.
+
+    Lemma 21 proves that {e no} small list machine solves CHECK-ϕ with
+    one-sided error. The proof is constructive: given any machine that
+    accepts at least half the yes-instances, it manufactures a
+    {e fooling input} — a no-instance the machine accepts. This module
+    runs exactly that pipeline (the numbered steps of Section 7)
+    against a concrete machine:
+
+    + fix a choice sequence [c] accepting many yes-instances
+      (Lemma 26);
+    + census the skeletons of the accepting runs; keep the most popular
+      class [ζ] (proof step 5);
+    + find an [i0] whose pair [(i0, m+ϕ(i0))] is never compared in [ζ]
+      (Claim 3, via Lemma 38);
+    + find two class members [v ≠ w] that differ only in the value at
+      [i0] (proof steps 7–8; we both look within the sample and
+      actively resample the [i0] value);
+    + compose the halves (composition lemma, Lemma 34) into
+      [u = (x-half of v, y-half of w)] and run the machine on it.
+
+    The pipeline succeeds — exhibits a wrong accept — whenever the
+    machine's comparison coverage leaves some ϕ-pair unobserved, which
+    Lemma 38 forces in the sublogarithmic-reversal regime. On machines
+    with full coverage (e.g. the complete staircase verifier) it
+    reports soundness evidence instead. *)
+
+type outcome =
+  | Fooled of {
+      input : Problems.Instance.t;  (** a CHECK-ϕ {e no}-instance *)
+      i0 : int;  (** the uncompared index used *)
+      skeleton_classes : int;  (** census size under the fixed [c] *)
+      yes_acceptance : float;  (** fraction of sampled yes accepted under [c] *)
+      choice_seed : int;  (** seed regenerating the fixed choice sequence [c] *)
+    }
+  | Not_fooled of {
+      reason : string;
+      yes_acceptance : float;
+      skeleton_classes : int;
+    }
+  | Contract_violated of {
+      yes_acceptance : float;
+          (** the machine is not a (1/2,0)-solver to begin with: it
+              accepted fewer than half the sampled yes-instances under
+              every tried choice sequence *)
+    }
+
+val attack :
+  Random.State.t ->
+  space:Problems.Generators.Checkphi.space ->
+  machine:Util.Bitstring.t Listmachine.Nlm.t ->
+  ?yes_samples:int ->
+  ?choice_trials:int ->
+  ?resample_tries:int ->
+  ?fuel:int ->
+  unit ->
+  outcome
+(** Run the pipeline. [yes_samples] (default 48) yes-instances are
+    drawn from the space; [choice_trials] (default 8) candidate choice
+    sequences are tried (1 suffices for deterministic machines);
+    [resample_tries] (default 32) bounds the active search in step 4. *)
+
+val verify_fooled : space:Problems.Generators.Checkphi.space ->
+  machine:Util.Bitstring.t Listmachine.Nlm.t -> outcome -> bool
+(** Independent re-validation of a [Fooled] outcome: the input really
+    is a no-instance of CHECK-ϕ in the space, and some run of the
+    machine accepts it (so [Pr(accept) > 0], contradicting the
+    one-sided-error contract). [false] for other outcomes. *)

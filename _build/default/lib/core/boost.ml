@@ -1,0 +1,26 @@
+type 'a decider = Random.State.t -> 'a -> bool
+
+let repeat_or ~rounds decider =
+  if rounds < 1 then invalid_arg "Boost.repeat_or: rounds >= 1";
+  fun st x ->
+    let rec go k = k > 0 && (decider st x || go (k - 1)) in
+    go rounds
+
+let repeat_and ~rounds decider =
+  if rounds < 1 then invalid_arg "Boost.repeat_and: rounds >= 1";
+  fun st x ->
+    let rec go k = k = 0 || (decider st x && go (k - 1)) in
+    go rounds
+
+let rounds_for ~target ~base =
+  if not (0.0 < base && base < 1.0) then invalid_arg "Boost.rounds_for: base";
+  if not (0.0 < target && target < 1.0) then invalid_arg "Boost.rounds_for: target";
+  let k = ceil (log target /. log base) in
+  max 1 (int_of_float k)
+
+let estimate_acceptance st ?(samples = 1000) decider x =
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    if decider st x then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples

@@ -1,0 +1,41 @@
+(** Error-amplification combinators for one-sided randomized deciders.
+
+    The paper uses amplification twice: Theorem 8(a)'s error budget is
+    met by construction, while the proof of Theorem 13 runs its machine
+    [T̃] twice and accepts if either run accepts, boosting a ≥ 1/4
+    acceptance guarantee to the ≥ 1/2 the RST definition demands. These
+    combinators package both directions with their exact error algebra,
+    and the test suite verifies the algebra empirically on coin-style
+    deciders with known acceptance probabilities.
+
+    Conventions: a decider returns [true]/[false]; its {e error side}
+    determines which answers are trustworthy.
+
+    - {b RST-style} (no false positives): [true] is always right;
+      positives may be missed with probability ≤ β. Repeating and
+      OR-ing keeps "no false positives" and shrinks β to βᵏ.
+    - {b co-RST-style} (no false negatives): [false] is always right;
+      negatives may be accepted with probability ≤ β. Repeating and
+      AND-ing keeps "no false negatives" and shrinks β to βᵏ. *)
+
+type 'a decider = Random.State.t -> 'a -> bool
+
+val repeat_or : rounds:int -> 'a decider -> 'a decider
+(** Accept iff {e some} round accepts. Preserves "no false positives";
+    false-negative probability βᵏ.
+    @raise Invalid_argument if [rounds < 1]. *)
+
+val repeat_and : rounds:int -> 'a decider -> 'a decider
+(** Accept iff {e every} round accepts. Preserves "no false negatives";
+    false-positive probability βᵏ.
+    @raise Invalid_argument if [rounds < 1]. *)
+
+val rounds_for : target:float -> base:float -> int
+(** Smallest [k] with [base^k ≤ target], for [0 < base < 1] and
+    [0 < target < 1].
+    @raise Invalid_argument outside those ranges. *)
+
+val estimate_acceptance :
+  Random.State.t -> ?samples:int -> 'a decider -> 'a -> float
+(** Empirical acceptance probability of a decider on one input
+    ([samples] defaults to 1000). *)

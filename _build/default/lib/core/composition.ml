@@ -1,0 +1,49 @@
+module Nlm = Listmachine.Nlm
+module Skeleton = Listmachine.Skeleton
+
+type verdict =
+  | Holds
+  | Precondition_failed of string
+  | Violated of string
+
+let check ~machine ~choices ~v ~w ~i ~i' ?(fuel = 200_000) () =
+  let ml = machine.Nlm.input_length in
+  if Array.length v <> ml || Array.length w <> ml then
+    invalid_arg "Composition.check: arity";
+  if i < 1 || i > ml || i' < 1 || i' > ml || i = i' then
+    invalid_arg "Composition.check: positions";
+  Array.iteri
+    (fun idx _ ->
+      let pos = idx + 1 in
+      if pos <> i && pos <> i' && v.(idx) <> w.(idx) then
+        invalid_arg "Composition.check: inputs differ outside {i, i'}")
+    v;
+  let run values = Nlm.run ~fuel machine ~values ~choices in
+  let tv = run v and tw = run w in
+  let skv = Skeleton.of_trace tv and skw = Skeleton.of_trace tw in
+  if not (Skeleton.equal skv skw) then
+    Precondition_failed "runs on v and w have different skeletons"
+  else if tv.Nlm.accepted <> tw.Nlm.accepted then
+    Precondition_failed "runs on v and w disagree on acceptance"
+  else if Skeleton.compared skv i i' then
+    Precondition_failed "positions i and i' are compared in the skeleton"
+  else begin
+    let cross a b positions =
+      let u = Array.copy a in
+      List.iter (fun p -> u.(p - 1) <- b.(p - 1)) positions;
+      u
+    in
+    let u = cross v w [ i' ] in
+    let u' = cross v w [ i ] in
+    let check_one label values =
+      let tr = run values in
+      if not (Skeleton.equal (Skeleton.of_trace tr) skv) then
+        Some (Printf.sprintf "%s: skeleton changed" label)
+      else if tr.Nlm.accepted <> tv.Nlm.accepted then
+        Some (Printf.sprintf "%s: acceptance changed" label)
+      else None
+    in
+    match (check_one "u" u, check_one "u'" u') with
+    | None, None -> Holds
+    | Some msg, _ | _, Some msg -> Violated msg
+  end

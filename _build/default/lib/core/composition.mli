@@ -1,0 +1,34 @@
+(** The composition lemma (Lemma 34) as a checkable property.
+
+    If two runs of the same machine under the same choice sequence have
+    the same skeleton, and the two inputs differ only at two positions
+    [i, i'] that are {e not compared} in that skeleton, then crossing
+    the inputs at those positions changes neither the skeleton nor the
+    acceptance. This module states the property over concrete inputs so
+    the test suite can exercise it (it is the correctness core of the
+    adversary). *)
+
+type verdict =
+  | Holds
+  | Precondition_failed of string
+      (** skeletons differ, acceptance differs, or the pair is compared
+          — the lemma does not apply *)
+  | Violated of string
+      (** preconditions held but a composed run changed skeleton or
+          acceptance: indicates a machine whose [alpha] cheats (reads
+          positions rather than values) — or a bug *)
+
+val check :
+  machine:'v Listmachine.Nlm.t ->
+  choices:(int -> int) ->
+  v:'v array ->
+  w:'v array ->
+  i:int ->
+  i':int ->
+  ?fuel:int ->
+  unit ->
+  verdict
+(** [check ~machine ~choices ~v ~w ~i ~i' ()] verifies Lemma 34 for the
+    two composed inputs [u = v\[i' ← w\]] and [u' = v\[i ← w\]].
+    @raise Invalid_argument if [v] and [w] differ at positions other
+    than [i, i'] or have the wrong arity. *)

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Extsort Fingerprint Fun List Listmachine Nst Numtheory Printf Problems Random Relalg Simulation Stcore String Turing Util Xmlq

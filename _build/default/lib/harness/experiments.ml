@@ -1,0 +1,743 @@
+(* The experiment harness: one table per reproduction target (see
+   EXPERIMENTS.md and DESIGN.md section 3). Every table is produced by
+   running the actual library code with measured resources - no numbers
+   are hard-coded. *)
+
+module B = Util.Bitstring
+module P = Util.Permutation
+module I = Problems.Instance
+module D = Problems.Decide
+module G = Problems.Generators
+module T = Util.Table
+
+let seed = [| 0xC0FFEE |]
+
+let fresh_state () = Random.State.make seed
+
+(* ------------------------------------------------------------------ *)
+
+let exp1 () =
+  (* Theorem 8(a): the fingerprint algorithm is a co-RST(2, O(log N), 1)
+     solver for MULTISET-EQUALITY. *)
+  let st = fresh_state () in
+  let t =
+    T.create
+      ~title:
+        "E1 [Theorem 8(a)]  MULTISET-EQUALITY in co-RST(2, O(log N), 1): \
+         fingerprinting"
+      ~columns:
+        [ "m"; "n"; "N"; "yes acc"; "false pos"; "95% CI"; "scans"; "int bits"; "tapes" ]
+  in
+  List.iter
+    (fun m ->
+      let n = 12 in
+      let trials = 300 in
+      let yes_ok = ref 0 in
+      let scans = ref 0 and bits = ref 0 and tapes = ref 0 and nsz = ref 0 in
+      for _ = 1 to trials do
+        let inst = G.yes_instance st D.Multiset_equality ~m ~n in
+        let ok, rep, params = Fingerprint.run st inst in
+        if ok then incr yes_ok;
+        scans := rep.Fingerprint.scans;
+        bits := rep.Fingerprint.internal_bits;
+        tapes := rep.Fingerprint.tapes;
+        nsz := params.Fingerprint.input_size
+      done;
+      let fp = ref 0 in
+      for _ = 1 to trials do
+        let inst = G.no_instance st D.Multiset_equality ~m ~n in
+        if Fingerprint.decide st inst then incr fp
+      done;
+      let lo, hi = Util.Stats.binomial_ci95 ~successes:!fp ~trials in
+      T.add_row t
+        [
+          string_of_int m;
+          string_of_int n;
+          string_of_int !nsz;
+          T.fmt_ratio !yes_ok trials;
+          T.fmt_ratio !fp trials;
+          Printf.sprintf "[%.3f,%.3f]" lo hi;
+          string_of_int !scans;
+          string_of_int !bits;
+          string_of_int !tapes;
+        ])
+    [ 2; 4; 8; 16; 32 ];
+  T.print t;
+  print_endline
+    "  expected: yes acc = 100% (no false negatives), false pos -> 0 with m,\n\
+    \  scans = 2 and tapes = 1 always, int bits = O(log N).\n"
+
+let exp2 () =
+  (* Claim 1: residue collisions under a random prime p <= k. *)
+  let st = fresh_state () in
+  let t =
+    T.create
+      ~title:"E2 [Claim 1]  residue-collision probability under a random prime p <= k"
+      ~columns:[ "m"; "k"; "collision rate"; "1/m (scale ref)" ]
+  in
+  List.iter
+    (fun m ->
+      let n = 10 in
+      let rate = Fingerprint.residue_collision_rate st ~m ~n ~trials:300 in
+      let k = Numtheory.fingerprint_k ~m ~n in
+      T.add_row t
+        [
+          string_of_int m;
+          string_of_int k;
+          T.fmt_float ~digits:4 rate;
+          T.fmt_float ~digits:4 (1.0 /. float_of_int m);
+        ])
+    [ 2; 4; 8; 16 ];
+  T.print t;
+  print_endline "  expected: rate = O(1/m), in practice far below the 1/m reference.\n"
+
+let exp3 () =
+  (* Corollary 7: deterministic sort-based deciders use O(log N) scans
+     and O(1) registers. *)
+  let st = fresh_state () in
+  let t =
+    T.create
+      ~title:
+        "E3 [Corollary 7]  ST(O(log N), O(1), 2): merge-sort deciders, scans vs N"
+      ~columns:[ "problem"; "m"; "N"; "scans"; "registers"; "verdict ok" ]
+  in
+  let fits = ref [] in
+  List.iter
+    (fun prob ->
+      let pts = ref [] in
+      List.iter
+        (fun m ->
+          let inst, label = G.labelled st prob ~m ~n:10 in
+          let got, rep = Extsort.decide prob inst in
+          pts := (rep.Extsort.n, rep.Extsort.scans) :: !pts;
+          T.add_row t
+            [
+              D.problem_name prob;
+              string_of_int m;
+              string_of_int rep.Extsort.n;
+              string_of_int rep.Extsort.scans;
+              string_of_int rep.Extsort.register_peak;
+              string_of_bool (got = label);
+            ])
+        [ 16; 64; 256; 1024 ];
+      let a, b, r2 = Util.Stats.log2_fit (Array.of_list !pts) in
+      fits := (D.problem_name prob, a, b, r2) :: !fits)
+    D.all_problems;
+  T.print t;
+  List.iter
+    (fun (name, a, b, r2) ->
+      Printf.printf "  fit %-18s scans = %.2f*log2(N) %+.2f   (r2 = %.4f)\n" name a b r2)
+    (List.rev !fits);
+  print_endline "  expected: logarithmic growth (r2 ~ 1), constant registers.\n"
+
+let staircase_row st space chains optimistic =
+  let machine = Listmachine.Machines.staircase_checkphi ~space ~chains ~optimistic in
+  let phi = G.Checkphi.phi space in
+  let m = P.size phi in
+  let values inst = Array.append (I.xs inst) (I.ys inst) in
+  let tr =
+    Listmachine.Nlm.run machine
+      ~values:(values (G.Checkphi.yes st space))
+      ~choices:(fun _ -> 0)
+  in
+  let sk = Listmachine.Skeleton.of_trace tr in
+  let compared = Listmachine.Skeleton.phi_compared_count sk ~m ~phi in
+  let outcome = Stcore.Adversary.attack st ~space ~machine () in
+  (machine, tr, compared, outcome)
+
+let exp4 () =
+  (* Theorem 6 via the Lemma 21 adversary. *)
+  let st = fresh_state () in
+  let t =
+    T.create
+      ~title:
+        "E4 [Theorem 6 / Lemma 21]  adversary vs (r,2)-bounded CHECK-phi list machines"
+      ~columns:
+        [ "m"; "chains"; "scans r"; "pairs compared"; "yes acc"; "adversary outcome" ]
+  in
+  List.iter
+    (fun m ->
+      let space = G.Checkphi.default_space ~m ~n:(2 * m) in
+      let needed = Listmachine.Machines.chains_needed ~space in
+      List.iter
+        (fun chains ->
+          let complete = chains >= needed in
+          let _, tr, compared, outcome = staircase_row st space chains (not complete) in
+          let describe =
+            match outcome with
+            | Stcore.Adversary.Fooled { i0; _ } ->
+                Printf.sprintf "FOOLED (wrong accept, i0=%d)" i0
+            | Stcore.Adversary.Not_fooled { reason; _ } -> "not fooled: " ^ reason
+            | Stcore.Adversary.Contract_violated _ -> "contract violated"
+          in
+          let acc =
+            match outcome with
+            | Stcore.Adversary.Fooled { yes_acceptance; _ }
+            | Stcore.Adversary.Not_fooled { yes_acceptance; _ } ->
+                yes_acceptance
+            | Stcore.Adversary.Contract_violated { yes_acceptance } -> yes_acceptance
+          in
+          T.add_row t
+            [
+              string_of_int m;
+              Printf.sprintf "%d/%d" chains needed;
+              string_of_int (Listmachine.Nlm.scans tr);
+              Printf.sprintf "%d/%d" compared m;
+              T.fmt_float ~digits:2 acc;
+              describe;
+            ])
+        (List.init (needed + 1) Fun.id))
+    [ 8; 16 ];
+  T.print t;
+  (* the genuinely randomized target: each run verifies one uniformly
+     random chain *)
+  let t2 =
+    T.create
+      ~title:
+        "      randomized target: one uniformly random chain per run \
+         (Lemma 26 path)"
+      ~columns:[ "m"; "Pr[acc yes]"; "Pr[acc no]"; "adversary outcome" ]
+  in
+  List.iter
+    (fun m ->
+      let space = G.Checkphi.default_space ~m ~n:(2 * m) in
+      let machine = Listmachine.Machines.random_chain_checkphi ~space in
+      let values inst = Array.append (I.xs inst) (I.ys inst) in
+      let p_yes =
+        Listmachine.Machines.dispatch_probability machine
+          ~values:(values (G.Checkphi.yes st space))
+      in
+      let p_no =
+        Listmachine.Machines.dispatch_probability machine
+          ~values:(values (G.Checkphi.no st space))
+      in
+      let outcome =
+        match Stcore.Adversary.attack st ~space ~machine () with
+        | Stcore.Adversary.Fooled { i0; _ } ->
+            Printf.sprintf "FOOLED (accepting run on a no-instance, i0=%d)" i0
+        | Stcore.Adversary.Not_fooled { reason; _ } -> "not fooled: " ^ reason
+        | Stcore.Adversary.Contract_violated _ -> "contract violated"
+      in
+      T.add_row t2
+        [
+          string_of_int m;
+          T.fmt_float ~digits:3 p_yes;
+          T.fmt_float ~digits:3 p_no;
+          outcome;
+        ])
+    [ 8; 16 ];
+  T.print t2;
+  print_endline
+    "  expected: every machine with incomplete pair coverage is FOOLED (a\n\
+    \  no-instance it accepts is exhibited, as in the Lemma 21 pipeline); the\n\
+    \  complete machine cannot be fooled. Scans grow with coverage - the\n\
+    \  lower-bound/upper-bound frontier of Theorem 6. The randomized machine\n\
+    \  keeps Pr[accept no] > 0, so it is not a (1/2,0)-solver either.\n"
+
+let exp5 () =
+  (* Remark 20: sortedness of the reverse-binary permutation. *)
+  let st = fresh_state () in
+  let t =
+    T.create ~title:"E5 [Remark 20]  sortedness of phi_m vs the 2*sqrt(m)-1 bound"
+      ~columns:
+        [ "m"; "sortedness(phi_m)"; "2*sqrt(m)-1"; "random perm (mean)"; "sqrt(m) floor" ]
+  in
+  List.iter
+    (fun lg ->
+      let m = 1 lsl lg in
+      let s = P.sortedness (P.reverse_binary m) in
+      let rand_mean =
+        let k = 20 in
+        let total = ref 0 in
+        for _ = 1 to k do
+          total := !total + P.sortedness (P.random st m)
+        done;
+        float_of_int !total /. float_of_int k
+      in
+      T.add_row t
+        [
+          string_of_int m;
+          string_of_int s;
+          T.fmt_float ~digits:1 ((2.0 *. sqrt (float_of_int m)) -. 1.0);
+          T.fmt_float ~digits:1 rand_mean;
+          T.fmt_float ~digits:1 (sqrt (float_of_int m));
+        ])
+    [ 2; 4; 6; 8; 10; 12 ];
+  T.print t;
+  print_endline
+    "  expected: sortedness(phi_m) <= 2*sqrt(m)-1 (phi_m is a worst case);\n\
+    \  random permutations sit near 2*sqrt(m); nothing goes below sqrt(m)\n\
+    \  (Erdos-Szekeres).\n"
+
+let exp6 () =
+  (* Lemmas 30/31: structural bounds on list machine runs. *)
+  let st = fresh_state () in
+  let t =
+    T.create
+      ~title:"E6 [Lemmas 30/31]  list machine runs vs the structural bounds"
+      ~columns:
+        [
+          "m"; "chains"; "r"; "list len"; "bound"; "cell size"; "bound";
+          "run len"; "bound";
+        ]
+  in
+  List.iter
+    (fun (m, chains) ->
+      let space = G.Checkphi.default_space ~m ~n:(2 * m) in
+      let machine =
+        Listmachine.Machines.staircase_checkphi ~space ~chains ~optimistic:true
+      in
+      let inst = G.Checkphi.yes st space in
+      let values = Array.append (I.xs inst) (I.ys inst) in
+      let tr = Listmachine.Nlm.run machine ~values ~choices:(fun _ -> 0) in
+      let me = Listmachine.Lm_bounds.measure tr in
+      let r = tr.Listmachine.Nlm.total_revs in
+      let k = machine.Listmachine.Nlm.state_count in
+      T.add_row t
+        [
+          string_of_int m;
+          string_of_int chains;
+          string_of_int r;
+          string_of_int me.Listmachine.Lm_bounds.max_total_list_length;
+          string_of_int (Listmachine.Lm_bounds.total_list_length_bound ~t:2 ~r:(r + 1) ~m:(2 * m));
+          string_of_int me.Listmachine.Lm_bounds.max_cell_size;
+          string_of_int (Listmachine.Lm_bounds.cell_size_bound ~t:2 ~r:(r + 1));
+          string_of_int me.Listmachine.Lm_bounds.run_length;
+          string_of_int (Listmachine.Lm_bounds.run_length_bound ~k ~t:2 ~r ~m:(2 * m));
+        ])
+    [ (4, 1); (4, 2); (8, 1); (8, 3); (16, 2) ];
+  T.print t;
+  print_endline "  expected: every measured column is below its bound column.\n"
+
+let exp7 () =
+  (* Lemma 16: the TM -> list machine simulation. *)
+  let st = fresh_state () in
+  let t =
+    T.create ~title:"E7 [Lemma 16]  Turing machine -> list machine simulation"
+      ~columns:
+        [
+          "machine"; "input"; "verdict"; "agree"; "TM revs"; "LM revs"; "crossings";
+        ]
+  in
+  let cases =
+    [
+      (Turing.Zoo.pair_equality (), [| "0110"; "0110" |]);
+      (Turing.Zoo.pair_equality (), [| "0110"; "0111" |]);
+      (Turing.Zoo.pair_equality (), [| "00110011"; "00110011" |]);
+      (Turing.Zoo.parity_ones (), [| "1101"; "11" |]);
+      (Turing.Zoo.parity_ones (), [| "1"; "11" |]);
+    ]
+  in
+  List.iter
+    (fun (tm, inputs) ->
+      let r = Simulation.simulate tm ~inputs ~choices:(fun _ -> 0) in
+      T.add_row t
+        [
+          tm.Turing.Machine.name;
+          String.concat "#" (Array.to_list inputs);
+          string_of_bool r.Simulation.lm_trace.Listmachine.Nlm.accepted;
+          string_of_bool r.Simulation.agreement;
+          string_of_int r.Simulation.tm_ext_reversals;
+          string_of_int r.Simulation.lm_reversals;
+          string_of_int r.Simulation.crossings;
+        ])
+    cases;
+  T.print t;
+  let tm = Turing.Zoo.nondet_find_one () in
+  let ptm, plm = Simulation.acceptance_agreement st ~samples:400 tm ~inputs:[| "101" |] in
+  Printf.printf
+    "  nondeterministic agreement (find-one on 101): Pr_TM=%.3f Pr_LM=%.3f (exact 0.75)\n"
+    ptm plm;
+  Printf.printf
+    "  state bound (2), log2|A|, for pair-equality at m=2, n=8: %.1f bits\n\n"
+    (Simulation.abstract_state_bound_log2 ~d:4 ~t:2 ~r:3 ~s:1 ~m:2 ~n:8)
+
+let exp8 () =
+  (* Theorem 11: streaming relational algebra. *)
+  let st = fresh_state () in
+  let t =
+    T.create
+      ~title:
+        "E8 [Theorem 11]  streaming evaluation of Q' = (R1-R2) u (R2-R1)"
+      ~columns:[ "m"; "N tuples"; "scans"; "registers"; "empty iff SET-EQ" ]
+  in
+  let pts = ref [] in
+  List.iter
+    (fun m ->
+      let inst, label = G.labelled st D.Set_equality ~m ~n:10 in
+      let db = Relalg.instance_db inst in
+      let res, rep = Relalg.eval_streaming db (Relalg.symmetric_difference "R1" "R2") in
+      pts := (rep.Relalg.n, rep.Relalg.scans) :: !pts;
+      T.add_row t
+        [
+          string_of_int m;
+          string_of_int rep.Relalg.n;
+          string_of_int rep.Relalg.scans;
+          string_of_int rep.Relalg.registers;
+          string_of_bool ((res.Relalg.tuples = []) = label);
+        ])
+    [ 8; 32; 128; 512 ];
+  T.print t;
+  let a, b, r2 = Util.Stats.log2_fit (Array.of_list !pts) in
+  Printf.printf "  fit: scans = %.1f*log2(N) %+.1f (r2 = %.4f)\n" a b r2;
+  print_endline
+    "  expected: O(log N) scans (Theorem 11(a)); emptiness of Q' decides\n\
+    \  SET-EQUALITY, which is why Theorem 11(b) inherits the Theorem 6 bound.\n"
+
+let exp9 () =
+  (* Theorems 12/13: the XQuery and XPath queries on document streams. *)
+  let st = fresh_state () in
+  let t =
+    T.create
+      ~title:"E9 [Theorems 12/13, Figure 1]  XML query evaluation on instance documents"
+      ~columns:
+        [
+          "m"; "stream N"; "XQuery = SET-EQ"; "XPath = nonsubset"; "stream scans";
+        ]
+  in
+  List.iter
+    (fun m ->
+      let trials = 20 in
+      let xq_ok = ref 0 and xp_ok = ref 0 and scans = ref 0 and nsz = ref 0 in
+      for _ = 1 to trials do
+        let inst, label = G.labelled st D.Set_equality ~m ~n:8 in
+        let doc = Xmlq.Doc.of_instance inst in
+        if Xmlq.Xquery.holds Xmlq.Xquery.theorem12_query doc = label then incr xq_ok;
+        let xs = Array.to_list (I.xs inst) and ys = Array.to_list (I.ys inst) in
+        let missing = List.exists (fun x -> not (List.mem x ys)) xs in
+        if Xmlq.Xpath.matches doc Xmlq.Xpath.figure1 = missing then incr xp_ok;
+        let stream = Xmlq.Doc.serialize doc in
+        let got, rep = Xmlq.Stream_filter.figure1_filter stream in
+        if got = missing then () else xp_ok := -1000;
+        scans := rep.Xmlq.Stream_filter.scans;
+        nsz := rep.Xmlq.Stream_filter.n
+      done;
+      T.add_row t
+        [
+          string_of_int m;
+          string_of_int !nsz;
+          T.fmt_ratio !xq_ok trials;
+          T.fmt_ratio !xp_ok trials;
+          string_of_int !scans;
+        ])
+    [ 4; 16; 64 ];
+  T.print t;
+  print_endline
+    "  expected: the Theorem 12 XQuery decides SET-EQUALITY and the Figure 1\n\
+    \  XPath filter decides non-subset-ness on every instance; the streaming\n\
+    \  filter implements the latter in O(log N) scans (tight by Theorem 13).\n"
+
+let exp10 () =
+  (* Theorem 8(b): certificate verification in NST(3, O(log N), 2). *)
+  let st = fresh_state () in
+  let t =
+    T.create
+      ~title:"E10 [Theorem 8(b)]  guess-and-check verification, NST(3, O(log N), 2)"
+      ~columns:
+        [ "problem"; "m"; "scans"; "tapes"; "registers"; "complete"; "sound" ]
+  in
+  List.iter
+    (fun prob ->
+      List.iter
+        (fun m ->
+          let trials = 20 in
+          let complete = ref 0 and sound = ref 0 in
+          let scans = ref 0 and tapes = ref 0 and regs = ref 0 in
+          for _ = 1 to trials do
+            let inst = G.yes_instance st prob ~m ~n:8 in
+            match Nst.prove prob inst with
+            | None -> ()
+            | Some cert ->
+                let ok, rep = Nst.verify prob inst cert in
+                if ok then incr complete;
+                scans := rep.Nst.scans;
+                tapes := rep.Nst.tapes;
+                regs := rep.Nst.internal_registers;
+                let bad = Nst.corrupt st Nst.Wrong_value cert in
+                if not (fst (Nst.verify prob inst bad)) then incr sound
+          done;
+          T.add_row t
+            [
+              D.problem_name prob;
+              string_of_int m;
+              string_of_int !scans;
+              string_of_int !tapes;
+              string_of_int !regs;
+              T.fmt_ratio !complete trials;
+              T.fmt_ratio !sound trials;
+            ])
+        [ 4; 16 ])
+    D.all_problems;
+  T.print t;
+  print_endline
+    "  expected: scans <= 3, 2 tapes, O(1) registers; honest certificates\n\
+    \  always verify, value-corrupted ones never do.\n"
+
+let exp11 () =
+  (* Corollary 9: the separation landscape, measured. *)
+  let st = fresh_state () in
+  let t =
+    T.create
+      ~title:
+        "E11 [Corollary 9]  measured resource envelopes at N ~ 5500 (m=256, n=10)"
+      ~columns:[ "solver"; "problem"; "scans"; "errors"; "notes" ]
+  in
+  let m = 256 and n = 10 in
+  let inst = G.yes_instance st D.Multiset_equality ~m ~n in
+  let _, det_rep = Extsort.multiset_equality inst in
+  T.add_row t
+    [
+      "deterministic (Cor 7)";
+      "MULTISET-EQ";
+      string_of_int det_rep.Extsort.scans;
+      "none";
+      "O(log N) scans required (Thm 6)";
+    ];
+  let _, fp_rep, _ = Fingerprint.run st inst in
+  T.add_row t
+    [
+      "co-randomized (Thm 8a)";
+      "MULTISET-EQ";
+      string_of_int fp_rep.Fingerprint.scans;
+      "one-sided false pos";
+      "beats every deterministic solver";
+    ];
+  let _, nst_rep = Nst.decide_with_prover D.Multiset_equality inst in
+  (match nst_rep with
+  | Some r ->
+      T.add_row t
+        [
+          "nondeterministic (Thm 8b)";
+          "MULTISET-EQ";
+          string_of_int r.Nst.scans;
+          "none (with witness)";
+          "3 scans, 2 tapes";
+        ]
+  | None -> ());
+  T.add_row t
+    [
+      "randomized RST (Thm 6)";
+      "all three";
+      "Omega(log N)";
+      "one-sided false neg";
+      "no o(log N) solver exists";
+    ];
+  T.print t;
+  print_endline "  Paper classification table (Section 2-4 results, encoded as data):";
+  let t2 =
+    T.create ~title:"" ~columns:[ "problem"; "class"; "member"; "provenance" ]
+  in
+  List.iter
+    (fun mem ->
+      T.add_row t2
+        [
+          mem.Stcore.Classes.problem;
+          mem.Stcore.Classes.class_label;
+          (if mem.Stcore.Classes.member then "yes" else "NO");
+          mem.Stcore.Classes.provenance;
+        ])
+    Stcore.Classes.paper_results;
+  T.print t2
+
+let exp12 () =
+  (* Corollary 10 and the Lemma 22 parameter frontier. *)
+  let t =
+    T.create ~title:"E12a [Corollary 10]  sorting itself: scans vs N (merge sort)"
+      ~columns:[ "items"; "scans"; "registers" ]
+  in
+  List.iter
+    (fun n ->
+      let items = List.init n (fun i -> Printf.sprintf "%06d" ((i * 7919) mod n)) in
+      let _, rep = Extsort.sort items in
+      T.add_row t
+        [
+          string_of_int n;
+          string_of_int rep.Extsort.scans;
+          string_of_int rep.Extsort.register_peak;
+        ])
+    [ 16; 128; 1024; 8192 ];
+  T.print t;
+  let t2 =
+    T.create
+      ~title:
+        "E12b [Lemma 22]  smallest power-of-two m satisfying equations (3) and (4) \
+         (t=2, d=4, s = N^{1/4}/log N)"
+      ~columns:[ "r(N)"; "min m (cap 2^14)"; "N = 2m(m^3+1)" ]
+  in
+  List.iter
+    (fun (label, r) ->
+      match Stcore.Params.find_min_m ~t:2 ~d:4 ~r ~s:(Stcore.Params.s_fourth_root ()) ~cap:(1 lsl 14) with
+      | Some m ->
+          T.add_row t2
+            [ label; string_of_int m; string_of_int (Stcore.Params.input_size ~m) ]
+      | None -> T.add_row t2 [ label; "none below cap"; "-" ])
+    [
+      ("1 (constant)", Stcore.Params.r_const 1);
+      ("2 (constant)", Stcore.Params.r_const 2);
+      ("log2 N / 8", Stcore.Params.r_log ~scale:0.125 ());
+      ("log2 N", Stcore.Params.r_log ());
+    ];
+  T.print t2;
+  print_endline
+    "  expected: sorting needs Theta(log N) scans (upper: merge sort; lower:\n\
+    \  Corollary 10); small/slowly-growing r admit a hard-instance size m,\n\
+    \  while r = Theta(log N) pushes m beyond any cap - Theorem 6 is tight.\n"
+
+let exp13 () =
+  (* Section 9 open problem: why the Lemma 21 pipeline cannot touch
+     DISJOINT-SETS. *)
+  let st = fresh_state () in
+  let t =
+    T.create
+      ~title:
+        "E13 [Section 9, open problem]  composition step: does crossing the \
+         halves of two yes-instances stay a yes-instance?"
+      ~columns:[ "problem"; "m"; "compositions still yes"; "adversary step" ]
+  in
+  List.iter
+    (fun m ->
+      let trials = 100 in
+      let space = G.Checkphi.default_space ~m ~n:(2 * m) in
+      let cp =
+        Problems.Disjoint.composition_preserves_yes st ~problem:(`Checkphi space)
+          ~m ~n:(2 * m) ~trials
+      in
+      T.add_row t
+        [
+          "CHECK-phi";
+          string_of_int m;
+          T.fmt_ratio cp trials;
+          "crossing BREAKS yes => fooling no-instance exists";
+        ];
+      let dj =
+        Problems.Disjoint.composition_preserves_yes st ~problem:`Disjoint ~m
+          ~n:(2 * m) ~trials
+      in
+      T.add_row t
+        [
+          "DISJOINT-SETS";
+          string_of_int m;
+          T.fmt_ratio dj trials;
+          "crossing PRESERVES yes => no fooling input";
+        ])
+    [ 8; 16 ];
+  T.print t;
+  (* the O(log N) upper bound still holds for disjointness *)
+  let t2 =
+    T.create ~title:"      DISJOINT-SETS upper bound (sort + merge scan)"
+      ~columns:[ "m"; "N"; "scans"; "verdict ok" ]
+  in
+  List.iter
+    (fun m ->
+      let inst, label = Problems.Disjoint.labelled st ~m ~n:10 in
+      let got, rep = Extsort.disjoint inst in
+      T.add_row t2
+        [
+          string_of_int m;
+          string_of_int rep.Extsort.n;
+          string_of_int rep.Extsort.scans;
+          string_of_bool (got = label);
+        ])
+    [ 16; 64; 256 ];
+  T.print t2;
+  print_endline
+    "  expected: the adversary's decisive composition step (Lemma 34) produces\n\
+    \  a NO-instance 100% of the time for CHECK-phi but ~0% of the time for\n\
+    \  DISJOINT-SETS - the executable content of why the paper's technique\n\
+    \  leaves disjointness open (Section 9), while O(log N) scans still\n\
+    \  suffice on the upper-bound side.\n"
+
+let exp14 () =
+  (* Ablation: k-way merge sort - the tape/scan trade-off. *)
+  let t =
+    T.create
+      ~title:
+        "E14 [ablation]  k-way tape merge sort: scans vs merge arity (items = 4096)"
+      ~columns:[ "ways"; "tapes"; "passes"; "scans"; "registers"; "sorted ok" ]
+  in
+  let items = List.init 4096 (fun i -> Printf.sprintf "%06d" ((i * 7919) mod 4096)) in
+  let expected = List.sort String.compare items in
+  List.iter
+    (fun ways ->
+      let sorted, rep =
+        if ways = 2 then Extsort.sort items else Extsort.sort_k ~ways items
+      in
+      let passes =
+        int_of_float (ceil (log 4096.0 /. log (float_of_int ways)))
+      in
+      T.add_row t
+        [
+          string_of_int ways;
+          string_of_int rep.Extsort.tapes;
+          string_of_int passes;
+          string_of_int rep.Extsort.scans;
+          string_of_int rep.Extsort.register_peak;
+          string_of_bool (sorted = expected);
+        ])
+    [ 2; 3; 4; 8 ];
+  T.print t;
+  print_endline
+    "  expected: scans shrink like log_ways(N) passes x O(1); the model's t\n\
+    \  parameter is a constant, so wider merges are free in the ST(r,s,t)\n\
+    \  cost measure - which is why Corollary 7 only cares about O(log N).\n"
+
+let exp15 () =
+  (* Ablation: Claim 1's prime range k = m^3 * n * log(m^3 n). *)
+  let st = fresh_state () in
+  let m = 8 and n = 10 in
+  let k_full = Numtheory.fingerprint_k ~m ~n in
+  let t =
+    T.create
+      ~title:
+        (Printf.sprintf
+           "E15 [ablation]  Claim 1 prime range: collision rate vs k (m=%d, n=%d)" m n)
+      ~columns:[ "k"; "k / k_paper"; "collision rate"; "1/m reference" ]
+  in
+  List.iter
+    (fun (label, k) ->
+      let rate = Fingerprint.residue_collision_rate ~k st ~m ~n ~trials:400 in
+      T.add_row t
+        [
+          string_of_int k;
+          label;
+          T.fmt_float ~digits:4 rate;
+          T.fmt_float ~digits:4 (1.0 /. float_of_int m);
+        ])
+    [
+      ("1 (paper)", k_full);
+      ("1/m", max 2 (k_full / m));
+      ("1/m^2", max 2 (k_full / (m * m)));
+      ("1/m^3", max 2 (k_full / (m * m * m)));
+      ("1/(m^3 log)", max 2 (k_full / (m * m * m * 7)));
+    ];
+  T.print t;
+  print_endline
+    "  expected: the paper-sized k keeps collisions far below 1/m; shrinking\n\
+    \  the prime range by the m^3 factor (the Claim 1 union-bound headroom)\n\
+    \  degrades the guarantee measurably - the design choice is load-bearing.\n"
+
+let all : (string * (unit -> unit)) list =
+  [
+    ("exp1", exp1);
+    ("exp2", exp2);
+    ("exp3", exp3);
+    ("exp4", exp4);
+    ("exp5", exp5);
+    ("exp6", exp6);
+    ("exp7", exp7);
+    ("exp8", exp8);
+    ("exp9", exp9);
+    ("exp10", exp10);
+    ("exp11", exp11);
+    ("exp12", exp12);
+    ("exp13", exp13);
+    ("exp14", exp14);
+    ("exp15", exp15);
+  ]
+
+let run_all () =
+  List.iter
+    (fun (_, f) ->
+      f ();
+      print_newline ())
+    all

@@ -1,0 +1,43 @@
+(** The reproduction experiments, one per paper target.
+
+    Each function prints one measured table (see EXPERIMENTS.md for the
+    index and the recorded expectations):
+
+    - E1: Theorem 8(a) fingerprinting — completeness / error / envelope
+    - E2: Claim 1 residue collisions
+    - E3: Corollary 7 merge-sort deciders, scans vs N
+    - E4: Theorem 6 via the Lemma 21 adversary
+    - E5: Remark 20 sortedness of [ϕ_m]
+    - E6: Lemmas 30/31 structural bounds on list machine runs
+    - E7: Lemma 16 TM → list machine simulation
+    - E8: Theorem 11 streaming relational algebra
+    - E9: Theorems 12/13 and Figure 1, XML queries
+    - E10: Theorem 8(b) certificate verification
+    - E11: Corollary 9 separations + the paper's classification table
+    - E12: Corollary 10 sorting curve and the Lemma 22 frontier
+    - E13: Section 9 open problem — why composition fails for
+      DISJOINT-SETS
+    - E14: ablation — k-way merge arity vs scans
+    - E15: ablation — Claim 1's prime-range size vs collision rate *)
+
+val exp1 : unit -> unit
+val exp2 : unit -> unit
+val exp3 : unit -> unit
+val exp4 : unit -> unit
+val exp5 : unit -> unit
+val exp6 : unit -> unit
+val exp7 : unit -> unit
+val exp8 : unit -> unit
+val exp9 : unit -> unit
+val exp10 : unit -> unit
+val exp11 : unit -> unit
+val exp12 : unit -> unit
+val exp13 : unit -> unit
+val exp14 : unit -> unit
+val exp15 : unit -> unit
+
+val all : (string * (unit -> unit)) list
+(** [("exp1", exp1); …] in order. *)
+
+val run_all : unit -> unit
+(** Print every table, separated by blank lines. *)

@@ -1,0 +1,1 @@
+lib/listmachine/lm_bounds.ml: Array Nlm

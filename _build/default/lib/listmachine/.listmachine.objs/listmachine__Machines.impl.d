@@ -1,0 +1,1 @@
+lib/listmachine/machines.ml: Array Hashtbl List Nlm Plan Printf Problems Util

@@ -1,0 +1,1 @@
+lib/listmachine/machines.mli: Nlm Problems Util

@@ -1,0 +1,1 @@
+lib/listmachine/nlm.ml: Array Either Format List Random

@@ -1,0 +1,1 @@
+lib/listmachine/nlm.mli: Either Format Random

@@ -1,0 +1,1 @@
+lib/listmachine/plan.ml: Array List Nlm Printf

@@ -1,0 +1,1 @@
+lib/listmachine/plan.mli: Nlm

@@ -1,0 +1,1 @@
+lib/listmachine/render.ml: Array Buffer List Nlm Printf Skeleton String

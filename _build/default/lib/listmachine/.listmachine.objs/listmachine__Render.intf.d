@@ -1,0 +1,1 @@
+lib/listmachine/render.mli: Nlm Skeleton

@@ -1,0 +1,1 @@
+lib/listmachine/skeleton.ml: Array Buffer Hashtbl Int List Nlm Printf Util

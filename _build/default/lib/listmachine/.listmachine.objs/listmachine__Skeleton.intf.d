@@ -1,0 +1,1 @@
+lib/listmachine/skeleton.mli: Nlm Util

@@ -1,0 +1,56 @@
+let ipow base exp =
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (acc * b) (b * b) (e lsr 1)
+    else go acc (b * b) (e lsr 1)
+  in
+  if exp < 0 then invalid_arg "ipow: negative exponent" else go 1 base exp
+
+let total_list_length_bound ~t ~r ~m = ipow (t + 1) r * m
+let cell_size_bound ~t ~r = 11 * ipow (max t 2) r
+let run_length_bound ~k ~t ~r ~m = k + (k * ipow (t + 1) (r + 1) * m)
+
+let log2_skeleton_count_bound ~m ~k ~t ~r =
+  let base = float_of_int (m + k + 3) in
+  let e1 = 12.0 *. float_of_int m *. (float_of_int (t + 1) ** float_of_int ((2 * r) + 2)) in
+  let e2 = 24.0 *. (float_of_int (t + 1) ** float_of_int r) in
+  (e1 +. e2) *. (log base /. log 2.0)
+
+type measurement = {
+  max_total_list_length : int;
+  max_cell_size : int;
+  run_length : int;
+  reversals : int;
+}
+
+let measure (tr : Nlm.trace) =
+  let max_len = ref 0 in
+  let max_cell = ref 0 in
+  Array.iter
+    (fun (c : Nlm.config) ->
+      let total =
+        Array.fold_left (fun acc l -> acc + Array.length l) 0 c.Nlm.contents
+      in
+      if total > !max_len then max_len := total;
+      Array.iter
+        (Array.iter (fun cell ->
+             let s = Nlm.cell_size cell in
+             if s > !max_cell then max_cell := s))
+        c.Nlm.contents)
+    tr.Nlm.configs;
+  {
+    max_total_list_length = !max_len;
+    max_cell_size = !max_cell;
+    run_length = Array.length tr.Nlm.configs;
+    reversals = tr.Nlm.total_revs;
+  }
+
+let check tr ~t ~r ~m ~k =
+  let me = measure tr in
+  (* Lemma 30 bounds configurations *before the i-th direction change*;
+     a run with r reversals in total lives before the (r+1)-th change,
+     so the whole-trace bounds use exponent r+1. *)
+  1 + me.reversals <= r + 1
+  && me.max_total_list_length <= total_list_length_bound ~t ~r:(r + 1) ~m
+  && me.max_cell_size <= cell_size_bound ~t ~r:(r + 1)
+  && me.run_length <= run_length_bound ~k ~t ~r ~m

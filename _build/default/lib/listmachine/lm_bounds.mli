@@ -1,0 +1,36 @@
+(** The quantitative lemmas about list-machine runs (Lemmas 30, 31, 32)
+    — bound formulas plus trace measurements to check them against.
+
+    All bounds are stated for an (r,t)-bounded NLM with [m] input
+    positions and [k = |A|] states. Several grow astronomically; those
+    are exposed as base-2 logarithms. *)
+
+val total_list_length_bound : t:int -> r:int -> m:int -> int
+(** Lemma 30(a): total list length after at most [r] direction changes
+    is [≤ (t+1)^r · m]. *)
+
+val cell_size_bound : t:int -> r:int -> int
+(** Lemma 30(b): cell size [≤ 11 · max(t,2)^r]. *)
+
+val run_length_bound : k:int -> t:int -> r:int -> m:int -> int
+(** Lemma 31(a): run length [ℓ ≤ k + k·(t+1)^{r+1}·m]. *)
+
+val log2_skeleton_count_bound : m:int -> k:int -> t:int -> r:int -> float
+(** Lemma 32: [log2] of [(m+k+3)^{12·m·(t+1)^{2r+2} + 24·(t+1)^r}]. *)
+
+(** Measurements over an actual trace. *)
+type measurement = {
+  max_total_list_length : int;
+  max_cell_size : int;
+  run_length : int;
+  reversals : int;
+}
+
+val measure : Nlm.trace -> measurement
+
+val check : Nlm.trace -> t:int -> r:int -> m:int -> k:int -> bool
+(** All three Lemma 30/31 bounds hold for the trace (using the given
+    nominal parameters; [r] must be at least the trace's total
+    reversal count). Lemma 30 bounds configurations {e before the i-th
+    direction change}, so the whole-trace list-length and cell-size
+    bounds are taken at exponent [r+1]. *)

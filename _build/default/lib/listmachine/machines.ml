@@ -1,0 +1,145 @@
+module B = Util.Bitstring
+module P = Util.Permutation
+
+let chain_partition phi =
+  let m = P.size phi in
+  (* chains store (i, ϕ(i)) in reverse i-order; direction 0 undecided *)
+  let chains = ref [] in
+  for i = 1 to m do
+    let j = P.apply phi i in
+    let best = ref None in
+    List.iteri
+      (fun idx (pairs, dirn) ->
+        let _, last_j = List.hd pairs in
+        let ok =
+          match dirn with 0 -> true | 1 -> j > last_j | _ -> j < last_j
+        in
+        if ok then begin
+          let badness = abs (j - last_j) in
+          match !best with
+          | Some (_, b) when b <= badness -> ()
+          | Some _ | None -> best := Some (idx, badness)
+        end)
+      !chains;
+    match !best with
+    | Some (sel, _) ->
+        chains :=
+          List.mapi
+            (fun idx (pairs, dirn) ->
+              if idx = sel then begin
+                let _, last_j = List.hd pairs in
+                let dirn' = if dirn <> 0 then dirn else if j > last_j then 1 else -1 in
+                ((i, j) :: pairs, dirn')
+              end
+              else (pairs, dirn))
+            !chains
+    | None -> chains := ([ (i, j) ], 0) :: !chains
+  done;
+  List.rev_map (fun (pairs, _) -> List.rev pairs) !chains
+
+let is_ascending chain =
+  match chain with
+  | (_, j0) :: (_, j1) :: _ -> j1 > j0
+  | [ _ ] | [] -> true
+
+(* Plan one chain's verification pass on planner [p]: a copy sweep of
+   head 1 across the chain's x-cells (each exit splices a copy of the
+   exited cell into list 2), then a monotone comparison sweep pairing
+   each copy with its y-cell. *)
+let plan_chain p cell_id ~m chain =
+  let iset = List.map fst chain in
+  let copies = Hashtbl.create 16 in
+  let i_first = List.hd iset in
+  let i_last = List.nth iset (List.length iset - 1) in
+  Plan.goto p ~tau:1 ~id:cell_id.(i_first - 1);
+  let rec sweep () =
+    let cur = Plan.id_at p ~tau:1 in
+    let is_chain_cell = List.exists (fun i -> cell_id.(i - 1) = cur) iset in
+    Plan.advance p ~tau:1 ~dir:1;
+    if is_chain_cell then begin
+      let i = List.find (fun i -> cell_id.(i - 1) = cur) iset in
+      (* the spliced copy lands before the head when it faces right,
+         after it when it faces left (Definition 24(c)) *)
+      let pos2 = (Plan.positions p).(1) in
+      let idx = if (Plan.dirs p).(1) = 1 then pos2 - 1 else pos2 + 1 in
+      Hashtbl.replace copies i (Plan.id_at_index p ~tau:2 ~index:idx)
+    end;
+    if cur <> cell_id.(i_last - 1) then sweep ()
+  in
+  sweep ();
+  let compare_pair (i, j) =
+    Plan.goto p ~tau:2 ~id:(Hashtbl.find copies i);
+    Plan.goto p ~tau:1 ~id:cell_id.(m + j - 1);
+    Plan.check_inputs_equal p ~eq:B.equal i (m + j)
+  in
+  if is_ascending chain then List.iter compare_pair chain
+  else List.iter compare_pair (List.rev chain)
+
+let input_cell_ids p ~m =
+  Array.init (2 * m) (fun k -> Plan.id_at_index p ~tau:1 ~index:(k + 1))
+
+let staircase_checkphi ~space ~chains ~optimistic =
+  let phi = Problems.Generators.Checkphi.phi space in
+  let m = P.size phi in
+  let all = chain_partition phi in
+  let used = List.filteri (fun idx _ -> idx < chains) all in
+  let complete = chains >= List.length all in
+  let p = Plan.create ~lists:2 ~input_length:(2 * m) () in
+  let cell_id = input_cell_ids p ~m in
+  List.iter (fun chain -> plan_chain p cell_id ~m chain) used;
+  Plan.build p
+    ~name:
+      (Printf.sprintf "staircase-checkphi(m=%d,chains=%d%s)" m chains
+         (if optimistic then ",optimistic" else ""))
+    ~accept_at_end:(optimistic || complete)
+
+let random_chain_checkphi ~space =
+  let phi = Problems.Generators.Checkphi.phi space in
+  let m = P.size phi in
+  let all = chain_partition phi in
+  let planners =
+    List.map
+      (fun chain ->
+        let p = Plan.create ~lists:2 ~input_length:(2 * m) () in
+        let cell_id = input_cell_ids p ~m in
+        plan_chain p cell_id ~m chain;
+        p)
+      all
+  in
+  Plan.build_choice_dispatch planners
+    ~name:(Printf.sprintf "random-chain-checkphi(m=%d,chains=%d)" m (List.length all))
+    ~accept_at_end:true
+
+let chains_needed ~space =
+  List.length (chain_partition (Problems.Generators.Checkphi.phi space))
+
+let dispatch_probability machine ~values =
+  let k = machine.Nlm.num_choices in
+  let hits = ref 0 in
+  for c = 0 to k - 1 do
+    if (Nlm.run machine ~values ~choices:(fun _ -> c)).Nlm.accepted then incr hits
+  done;
+  float_of_int !hits /. float_of_int k
+
+let coin ~input_length =
+  Nlm.make ~name:"coin" ~lists:1 ~input_length ~num_choices:2 ~state_count:3
+    ~initial:0
+    ~is_final:(fun s -> s >= 1)
+    ~is_accepting:(fun s -> s = 1)
+    ~alpha:(fun ~values:_ ~state:_ ~cells:_ ~choice ->
+      {
+        Nlm.next_state = (if choice = 0 then 1 else 2);
+        movements = [| { Nlm.dir = 1; move = false } |];
+      })
+
+let blind ~input_length ~accept =
+  Nlm.make
+    ~name:(if accept then "blind-accept" else "blind-reject")
+    ~lists:1 ~input_length ~num_choices:1 ~state_count:3 ~initial:0
+    ~is_final:(fun s -> s >= 1)
+    ~is_accepting:(fun s -> s = 1)
+    ~alpha:(fun ~values:_ ~state:_ ~cells:_ ~choice:_ ->
+      {
+        Nlm.next_state = (if accept then 1 else 2);
+        movements = [| { Nlm.dir = 1; move = false } |];
+      })

@@ -1,0 +1,64 @@
+(** Concrete list machines for the CHECK-ϕ experiments.
+
+    The paper uses list machines only as a lower-bound analysis tool; it
+    never programs them. To make the tightness story executable we still
+    need {e honest} (r,t)-bounded list machines attempting CHECK-ϕ:
+
+    - {!staircase_checkphi} verifies the pairs [(i, m+ϕ(i))] covered by
+      a bounded number of {e monotone chains} of ϕ, one chain per
+      constant-reversal pass (information can only be co-located along
+      monotone alignments — the content of the merge lemma, Lemma 37).
+      With all [≈ m / sortedness(ϕ)] chains it genuinely solves CHECK-ϕ
+      on the instance space; truncated to fewer chains it must either
+      reject yes-instances (pessimistic) or accept unverified inputs
+      (optimistic) — and the Lemma 21 adversary then exhibits a fooling
+      input.
+    - {!coin} and {!blind} are degenerate baselines for the probability
+      machinery and the adversary respectively. *)
+
+val chain_partition : Util.Permutation.t -> (int * int) list list
+(** Greedy partition of the pairs [(i, ϕ(i))] (listed with [i]
+    ascending) into chains monotone in the second coordinate. The
+    number of chains is at least [m / sortedness(ϕ)] and — for the
+    greedy used here — typically within a small factor of it. *)
+
+val staircase_checkphi :
+  space:Problems.Generators.Checkphi.space ->
+  chains:int ->
+  optimistic:bool ->
+  Util.Bitstring.t Nlm.t
+(** A deterministic 2-list scripted machine for CHECK-ϕ on the given
+    space that verifies the pairs of the first [chains] chains of
+    {!chain_partition} (each pass costs O(1) reversals). On reaching
+    the end it accepts iff all verified pairs matched and
+    ([optimistic] or every pair was covered). *)
+
+val chains_needed : space:Problems.Generators.Checkphi.space -> int
+(** Number of chains {!chain_partition} produces for the space's ϕ —
+    the [chains] value at which {!staircase_checkphi} is complete. *)
+
+val random_chain_checkphi :
+  space:Problems.Generators.Checkphi.space -> Util.Bitstring.t Nlm.t
+(** A {e randomized} CHECK-ϕ attempt: the nondeterministic choice picks
+    {e one} chain of {!chain_partition} uniformly, and the run verifies
+    only that chain's pairs (optimistically accepting the rest). On
+    yes-instances every run accepts (probability 1); on a no-instance
+    broken at a single pair, only the runs that sampled the covering
+    chain reject — so the acceptance probability stays positive and the
+    machine violates the (1/2, 0)-RTM contract, as Theorem 6 says any
+    cheap randomized machine must. Each run costs O(1) reversals; the
+    Lemma 26 step of the adversary is nontrivial against this machine. *)
+
+val dispatch_probability : 'v Nlm.t -> values:'v array -> float
+(** Exact acceptance probability of a {e choice-dispatch} machine
+    (from {!Plan.build_choice_dispatch}): only the first choice matters,
+    so the probability is the average over the [num_choices] constant
+    choice sequences. (General machines need
+    {!Nlm.exact_probability}, which cannot exploit this structure
+    because written cells record the choices.) *)
+
+val coin : input_length:int -> 'v Nlm.t
+(** One nondeterministic step, accepts with probability 1/2. *)
+
+val blind : input_length:int -> accept:bool -> 'v Nlm.t
+(** Accepts (or rejects) immediately without reading anything. *)

@@ -1,0 +1,291 @@
+type sym = In of int | Ch of int | St of int | Open | Close
+type cell = sym list
+type movement = { dir : int; move : bool }
+type transition = { next_state : int; movements : movement array }
+
+type 'v alpha =
+  values:'v array -> state:int -> cells:cell array -> choice:int -> transition
+
+type 'v t = {
+  lists : int;
+  input_length : int;
+  num_choices : int;
+  state_count : int;
+  initial : int;
+  is_final : int -> bool;
+  is_accepting : int -> bool;
+  alpha : 'v alpha;
+  name : string;
+}
+
+let make ~name ~lists ~input_length ~num_choices ~state_count ~initial ~is_final
+    ~is_accepting ~alpha =
+  if lists < 1 then invalid_arg "Nlm.make: lists >= 1";
+  if input_length < 0 then invalid_arg "Nlm.make: input_length >= 0";
+  if num_choices < 1 then invalid_arg "Nlm.make: num_choices >= 1";
+  if state_count < 1 then invalid_arg "Nlm.make: state_count >= 1";
+  if initial < 0 then invalid_arg "Nlm.make: initial state";
+  {
+    lists;
+    input_length;
+    num_choices;
+    state_count;
+    initial;
+    is_final;
+    is_accepting;
+    alpha;
+    name;
+  }
+
+type config = {
+  state : int;
+  pos : int array;
+  head_dir : int array;
+  contents : cell array array;
+  revs : int array;
+  ids : int array array;
+  next_id : int;
+}
+
+let initial_config m =
+  let first =
+    if m.input_length = 0 then [| [ Open; Close ] |]
+    else Array.init m.input_length (fun i0 -> [ Open; In (i0 + 1); Close ])
+  in
+  let contents =
+    Array.init m.lists (fun tau -> if tau = 0 then first else [| [ Open; Close ] |])
+  in
+  let counter = ref 0 in
+  let ids =
+    Array.map
+      (Array.map (fun _ ->
+           incr counter;
+           !counter))
+      contents
+  in
+  {
+    state = m.initial;
+    pos = Array.make m.lists 1;
+    head_dir = Array.make m.lists 1;
+    contents;
+    revs = Array.make m.lists 0;
+    ids;
+    next_id = !counter + 1;
+  }
+
+let current_cells c =
+  Array.mapi (fun tau p -> c.contents.(tau).(p - 1)) c.pos
+
+let bracket x = (Open :: x) @ [ Close ]
+
+let splice_replace arr j y =
+  let fresh = Array.copy arr in
+  fresh.(j - 1) <- y;
+  fresh
+
+let splice_insert_before arr j y =
+  (* y becomes cell j; old cell j shifts to j+1 *)
+  Array.concat [ Array.sub arr 0 (j - 1); [| y |]; Array.sub arr (j - 1) (Array.length arr - j + 1) ]
+
+let splice_insert_after arr j y =
+  Array.concat [ Array.sub arr 0 j; [| y |]; Array.sub arr j (Array.length arr - j) ]
+
+let step m ~values c ~choice =
+  if m.is_final c.state then invalid_arg "Nlm.step: final configuration";
+  if choice < 0 || choice >= m.num_choices then invalid_arg "Nlm.step: choice range";
+  let cells = current_cells c in
+  let tr = m.alpha ~values ~state:c.state ~cells ~choice in
+  if Array.length tr.movements <> m.lists then
+    invalid_arg "Nlm.step: alpha returned wrong movement arity";
+  (* clamp at list ends (Definition 24(c)) *)
+  let clamped =
+    Array.mapi
+      (fun tau e ->
+        let len = Array.length c.contents.(tau) in
+        if e.dir <> -1 && e.dir <> 1 then invalid_arg "Nlm.step: dir must be ±1";
+        if c.pos.(tau) = 1 && e.dir = -1 && e.move then { dir = -1; move = false }
+        else if c.pos.(tau) = len && e.dir = 1 && e.move then { dir = 1; move = false }
+        else e)
+      tr.movements
+  in
+  let f =
+    Array.mapi (fun tau e -> e.move || e.dir <> c.head_dir.(tau)) clamped
+  in
+  if Array.for_all not f then
+    ( { c with state = tr.next_state }, Array.make m.lists 0 )
+  else begin
+    let y =
+      (St c.state :: List.concat_map (fun x -> bracket x) (Array.to_list cells))
+      @ bracket [ Ch choice ]
+    in
+    let contents = Array.copy c.contents in
+    let ids = Array.copy c.ids in
+    let next_id = ref c.next_id in
+    let fresh () =
+      let id = !next_id in
+      incr next_id;
+      id
+    in
+    let pos = Array.copy c.pos in
+    let head_dir = Array.copy c.head_dir in
+    let revs = Array.copy c.revs in
+    let cellmoves = Array.make m.lists 0 in
+    for tau = 0 to m.lists - 1 do
+      let e = clamped.(tau) in
+      let p = c.pos.(tau) in
+      if e.move then begin
+        contents.(tau) <- splice_replace c.contents.(tau) p y;
+        (* overwrite: the cell keeps its identity *)
+        ids.(tau) <- Array.copy c.ids.(tau);
+        pos.(tau) <- (if e.dir = 1 then p + 1 else p - 1);
+        cellmoves.(tau) <- e.dir
+      end
+      else begin
+        (if c.head_dir.(tau) = 1 then begin
+           contents.(tau) <- splice_insert_before c.contents.(tau) p y;
+           ids.(tau) <- splice_insert_before c.ids.(tau) p (fresh ());
+           pos.(tau) <- p + 1
+         end
+         else begin
+           contents.(tau) <- splice_insert_after c.contents.(tau) p y;
+           ids.(tau) <- splice_insert_after c.ids.(tau) p (fresh ());
+           pos.(tau) <- p
+         end);
+        cellmoves.(tau) <- 0
+      end;
+      if e.dir <> c.head_dir.(tau) then begin
+        revs.(tau) <- revs.(tau) + 1;
+        head_dir.(tau) <- e.dir
+      end
+    done;
+    ( { state = tr.next_state; pos; head_dir; contents; revs; ids; next_id = !next_id },
+      cellmoves )
+  end
+
+type trace = {
+  accepted : bool;
+  configs : config array;
+  moves : int array array;
+  choices_used : int array;
+  total_revs : int;
+}
+
+let run ?(fuel = 100_000) m ~values ~choices =
+  if Array.length values <> m.input_length then
+    invalid_arg "Nlm.run: values arity";
+  let configs = ref [] in
+  let moves = ref [] in
+  let used = ref [] in
+  let c = ref (initial_config m) in
+  let steps = ref 0 in
+  configs := [ !c ];
+  while not (m.is_final !c.state) do
+    if !steps >= fuel then failwith "Nlm.run: out of fuel";
+    let choice = ((choices !steps mod m.num_choices) + m.num_choices) mod m.num_choices in
+    let c', mv = step m ~values !c ~choice in
+    c := c';
+    configs := c' :: !configs;
+    moves := mv :: !moves;
+    used := choice :: !used;
+    incr steps
+  done;
+  let final = !c in
+  {
+    accepted = m.is_accepting final.state;
+    configs = Array.of_list (List.rev !configs);
+    moves = Array.of_list (List.rev !moves);
+    choices_used = Array.of_list (List.rev !used);
+    total_revs = Array.fold_left ( + ) 0 final.revs;
+  }
+
+let scans tr = 1 + tr.total_revs
+
+let accept_probability st ?(samples = 500) ?fuel m ~values =
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    let tr =
+      run ?fuel m ~values ~choices:(fun _ -> Random.State.int st m.num_choices)
+    in
+    if tr.accepted then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples
+
+let exact_probability ?(fuel = 200_000) m ~values =
+  let expanded = ref 0 in
+  let rec go c =
+    incr expanded;
+    if !expanded > fuel then failwith "Nlm.exact_probability: out of fuel";
+    if m.is_final c.state then if m.is_accepting c.state then 1.0 else 0.0
+    else begin
+      (* group identical successors so that choice-insensitive steps do
+         not blow up the tree (cell ids are deterministic per choice, so
+         structural equality is sound here) *)
+      let successors = ref [] in
+      for choice = 0 to m.num_choices - 1 do
+        let c', _ = step m ~values c ~choice in
+        match List.assoc_opt c' !successors with
+        | Some count -> successors := (c', count + 1) :: List.remove_assoc c' !successors
+        | None -> successors := (c', 1) :: !successors
+      done;
+      List.fold_left
+        (fun acc (c', count) ->
+          acc +. (float_of_int count *. go c' /. float_of_int m.num_choices))
+        0.0 !successors
+    end
+  in
+  go (initial_config m)
+
+let cell_inputs cell =
+  List.filter_map (function In i -> Some i | Ch _ | St _ | Open | Close -> None) cell
+
+let cell_components cell =
+  match cell with
+  | St a :: rest ->
+      (* parse ⟨x_1⟩…⟨x_t⟩⟨c⟩ by bracket matching *)
+      let rec comps acc rest =
+        match rest with
+        | [] -> Some (List.rev acc)
+        | Open :: tl ->
+            let rec grab depth body tl =
+              match tl with
+              | [] -> None
+              | Close :: tl' ->
+                  if depth = 0 then Some (List.rev body, tl')
+                  else grab (depth - 1) (Close :: body) tl'
+              | Open :: tl' -> grab (depth + 1) (Open :: body) tl'
+              | (In _ | Ch _ | St _) as s :: tl' -> grab depth (s :: body) tl'
+            in
+            (match grab 0 [] tl with
+            | None -> None
+            | Some (body, tl') -> comps (body :: acc) tl')
+        | (In _ | Ch _ | St _ | Close) :: _ -> None
+      in
+      (match comps [] rest with
+      | Some parts when List.length parts >= 1 -> (
+          match List.rev parts with
+          | [ Ch ch ] :: xs_rev -> Some (a, List.rev xs_rev, ch)
+          | _ -> None)
+      | Some _ | None -> None)
+  | [] | (In _ | Ch _ | Open | Close) :: _ -> None
+
+let resolve_cell ~values cell =
+  List.map
+    (function
+      | In i -> Either.Left values.(i - 1)
+      | Ch c -> Either.Right (-1 - c)
+      | St a -> Either.Right a
+      | Open -> Either.Right min_int
+      | Close -> Either.Right (min_int + 1))
+    cell
+
+let cell_size = List.length
+
+let pp_sym ppf = function
+  | In i -> Format.fprintf ppf "v%d" i
+  | Ch c -> Format.fprintf ppf "c%d" c
+  | St a -> Format.fprintf ppf "a%d" a
+  | Open -> Format.pp_print_string ppf "<"
+  | Close -> Format.pp_print_string ppf ">"
+
+let pp_cell ppf cell =
+  List.iter (fun s -> pp_sym ppf s) cell

@@ -1,0 +1,151 @@
+(** Nondeterministic list machines (Definitions 14 and 24).
+
+    An NLM has [t] lists whose cells store {e strings} over the machine
+    alphabet [A = I ∪ C ∪ A ∪ {⟨,⟩}]. The transition function only
+    chooses the new state and the head movements; whenever at least one
+    head moves or turns, the string
+
+    {v y = a ⟨x_1,p_1⟩ ⟨x_2,p_2⟩ … ⟨x_t,p_t⟩ ⟨c⟩ v}
+
+    (current state, all cells under heads, nondeterministic choice) is
+    written behind every head — either overwriting the current cell
+    (when the head leaves it) or spliced in as a fresh cell. This forced
+    write is what makes information flow trackable: every input value
+    ever seen together flows into the same cell.
+
+    Faithfulness notes. Cells store input {e positions} ([In i]), not
+    values: the run supplies the value vector, so the same machine can
+    be replayed on inputs that differ only at chosen positions — exactly
+    what the composition lemma (Lemma 34) and the lower-bound adversary
+    need. Head clamping at list ends, the three splice cases, and the
+    position update table are implemented verbatim from Definition 24(c). *)
+
+type sym =
+  | In of int  (** input number by 1-based input position *)
+  | Ch of int  (** nondeterministic choice [c ∈ C], 0-based *)
+  | St of int  (** abstract state *)
+  | Open
+  | Close
+
+type cell = sym list
+(** A cell content — a string over the alphabet. *)
+
+type movement = { dir : int; move : bool }
+(** [dir ∈ {-1,+1}]; [move] is the Definition 14 move flag. *)
+
+type transition = { next_state : int; movements : movement array }
+
+type 'v alpha =
+  values:'v array -> state:int -> cells:cell array -> choice:int -> transition
+(** The transition function [alpha : (A minus B) x (A* )^t x C -> A x Movement^t].
+    [values.(i-1)] resolves [In i]; [cells.(τ)] is the cell under head
+    [τ+1]. Must be a pure function of the {e resolved} cell contents,
+    the state, and the choice — it must not inspect positions beyond
+    resolving them to values (the skeleton machinery checks replays for
+    consistency). *)
+
+type 'v t = {
+  lists : int;  (** [t ≥ 1] *)
+  input_length : int;  (** [m] *)
+  num_choices : int;  (** [|C| ≥ 1]; 1 = deterministic *)
+  state_count : int;  (** declared [|A|] = the [k] of the bound formulas *)
+  initial : int;
+  is_final : int -> bool;
+  is_accepting : int -> bool;
+  alpha : 'v alpha;
+  name : string;
+}
+
+val make :
+  name:string -> lists:int -> input_length:int -> num_choices:int ->
+  state_count:int -> initial:int -> is_final:(int -> bool) ->
+  is_accepting:(int -> bool) -> alpha:'v alpha -> 'v t
+(** Validates the scalar parameters. @raise Invalid_argument. *)
+
+(** {1 Configurations} *)
+
+type config = {
+  state : int;
+  pos : int array;  (** 1-based head positions, per list *)
+  head_dir : int array;  (** last head direction, [+1] initially *)
+  contents : cell array array;  (** [contents.(τ).(j-1)] = cell [j] of list [τ+1] *)
+  revs : int array;  (** direction changes so far, per list *)
+  ids : int array array;  (** stable cell identities, parallel to
+      [contents]: an overwritten cell keeps its id, a spliced-in cell
+      gets a fresh one. Ids are an analysis aid (provenance tracking for
+      planners and the adversary); they carry no semantics. *)
+  next_id : int;
+}
+
+val initial_config : 'v t -> config
+(** List 1 holds [⟨v_1⟩,…,⟨v_m⟩] as [\[Open; In i; Close\]] cells; other
+    lists hold the single cell [⟨⟩]. *)
+
+val current_cells : config -> cell array
+(** The [t] cells under the heads. *)
+
+val step : 'v t -> values:'v array -> config -> choice:int -> config * int array
+(** One step (Definition 24(c)): applies [α], clamps movements at list
+    ends, performs the forced write and splices, updates positions,
+    directions and reversal counts. Returns the new configuration and
+    the per-list {e cell movement} vector ([-1/0/+1] — whether each head
+    ended on the previous / same / next cell, the [moves(ρ)] entry of
+    Definition 27).
+    @raise Invalid_argument if the configuration is final or the choice
+    is out of range. *)
+
+(** {1 Runs} *)
+
+type trace = {
+  accepted : bool;
+  configs : config array;  (** [ρ_1 … ρ_ℓ] *)
+  moves : int array array;  (** [moves.(i)] = cell-movement vector of step [i+1] *)
+  choices_used : int array;
+  total_revs : int;
+}
+
+val run : ?fuel:int -> 'v t -> values:'v array -> choices:(int -> int) -> trace
+(** [ρ_M(v, c)] (Definition 15). [fuel] (default 100_000) bounds the
+    run length; @raise Failure on exhaustion (an (r,t)-bounded NLM has
+    finite runs — Lemma 31 gives the bound). *)
+
+val scans : trace -> int
+(** [1 + Σ_τ rev(ρ, τ)] — the (r,t)-bound usage. *)
+
+val accept_probability :
+  Random.State.t -> ?samples:int -> ?fuel:int -> 'v t -> values:'v array -> float
+(** Monte-Carlo estimate of [Pr(M accepts v)] by sampling uniform choice
+    sequences (Lemma 25). Exact for deterministic machines (one
+    sample suffices; we still run [samples] of them). *)
+
+val exact_probability : ?fuel:int -> 'v t -> values:'v array -> float
+(** Exact [Pr(M accepts v)] by weighted exploration of the choice tree
+    (each step branches uniformly over the [num_choices] choices, as in
+    the randomized semantics before Definition 15). Exponential in the
+    run length — for small machines and tests. [fuel] (default 200_000)
+    bounds the number of configurations expanded.
+    @raise Failure on fuel exhaustion. *)
+
+(** {1 Cell utilities} *)
+
+val cell_inputs : cell -> int list
+(** Input positions occurring in a cell string, in order of occurrence,
+    duplicates preserved. *)
+
+val cell_components : cell -> (int * cell list * int) option
+(** Parse a written cell [a⟨x_1⟩…⟨x_t⟩⟨c⟩] back into
+    [(a, \[x_1;…;x_t\], c)]; [None] for unwritten cells ([⟨v⟩] or
+    [⟨⟩]). Machines use this to navigate nested payloads. *)
+
+val resolve_cell : values:'v array -> cell -> ('v, int) Either.t list
+(** The resolved content α may depend on: [Left value] for inputs,
+    [Right code] for the other symbols (choices as [Right (-1-c)],
+    states as [Right a], brackets as [Right min_int / min_int+1]).
+    Provided so machine implementations can be written against resolved
+    data only. *)
+
+val cell_size : cell -> int
+(** Length of the string (number of alphabet symbols) — the cell-size
+    measure of Lemma 30(b). *)
+
+val pp_cell : Format.formatter -> cell -> unit

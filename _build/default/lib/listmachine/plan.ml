@@ -1,0 +1,224 @@
+type 'v check = values:'v array -> cells:Nlm.cell array -> bool
+
+type 'v step = {
+  movements : Nlm.movement array;  (* raw, pre-clamp *)
+  check : 'v check option;
+  dirs_before : int array;
+}
+
+type 'v t = {
+  lists : int;
+  input_length : int;
+  pilot_machine : unit Nlm.t;
+  pilot_values : unit array;
+  mutable pilot : Nlm.config;
+  mutable steps : 'v step list;  (* reversed *)
+  mutable count : int;
+}
+
+let create ~lists ~input_length () =
+  let pilot_machine =
+    Nlm.make ~name:"pilot" ~lists ~input_length ~num_choices:1 ~state_count:1
+      ~initial:0
+      ~is_final:(fun _ -> false)
+      ~is_accepting:(fun _ -> false)
+      ~alpha:(fun ~values:_ ~state:_ ~cells:_ ~choice:_ ->
+        invalid_arg "Plan: pilot alpha placeholder")
+  in
+  {
+    lists;
+    input_length;
+    pilot_machine;
+    pilot_values = Array.make input_length ();
+    pilot = Nlm.initial_config pilot_machine;
+    steps = [];
+    count = 0;
+  }
+
+let cells p = Nlm.current_cells p.pilot
+let positions p = Array.copy p.pilot.Nlm.pos
+let dirs p = Array.copy p.pilot.Nlm.head_dir
+
+let list_length p tau =
+  if tau < 1 || tau > p.lists then invalid_arg "Plan.list_length";
+  Array.length p.pilot.Nlm.contents.(tau - 1)
+
+let steps_planned p = p.count
+let reversals_planned p = Array.fold_left ( + ) 0 p.pilot.Nlm.revs
+
+let move p ?check movements =
+  if Array.length movements <> p.lists then invalid_arg "Plan.move: arity";
+  let dirs_before = Array.copy p.pilot.Nlm.head_dir in
+  (* pilot-execute with a throwaway single-step machine *)
+  let pending = { Nlm.next_state = 0; movements } in
+  let machine =
+    {
+      p.pilot_machine with
+      Nlm.alpha = (fun ~values:_ ~state:_ ~cells:_ ~choice:_ -> pending);
+    }
+  in
+  let c', _mv = Nlm.step machine ~values:p.pilot_values p.pilot ~choice:0 in
+  p.pilot <- c';
+  p.steps <- { movements; check; dirs_before } :: p.steps;
+  p.count <- p.count + 1
+
+let neutral p =
+  Array.map (fun d -> { Nlm.dir = d; move = false }) p.pilot.Nlm.head_dir
+
+let pause p ?check () = move p ?check (neutral p)
+
+let advance p ~tau ~dir =
+  if tau < 1 || tau > p.lists then invalid_arg "Plan.advance: tau";
+  if dir <> 1 && dir <> -1 then invalid_arg "Plan.advance: dir";
+  let pos = p.pilot.Nlm.pos.(tau - 1) in
+  let len = Array.length p.pilot.Nlm.contents.(tau - 1) in
+  if (pos = 1 && dir = -1) || (pos = len && dir = 1) then
+    invalid_arg "Plan.advance: head at list end";
+  let movements = neutral p in
+  movements.(tau - 1) <- { Nlm.dir; move = true };
+  move p movements
+
+let walk_until p ~tau ~dir pred =
+  let fuel = ref (2 * (list_length p tau + 2)) in
+  let rec go () =
+    if pred (cells p).(tau - 1) then ()
+    else begin
+      decr fuel;
+      if !fuel < 0 then failwith "Plan.walk_until: target not found";
+      (try advance p ~tau ~dir
+       with Invalid_argument _ -> failwith "Plan.walk_until: hit list end");
+      go ()
+    end
+  in
+  go ()
+
+let rewind p ~tau =
+  while p.pilot.Nlm.pos.(tau - 1) > 1 do
+    advance p ~tau ~dir:(-1)
+  done
+
+let id_at p ~tau =
+  if tau < 1 || tau > p.lists then invalid_arg "Plan.id_at";
+  p.pilot.Nlm.ids.(tau - 1).(p.pilot.Nlm.pos.(tau - 1) - 1)
+
+let id_at_index p ~tau ~index =
+  if tau < 1 || tau > p.lists then invalid_arg "Plan.id_at_index";
+  let arr = p.pilot.Nlm.ids.(tau - 1) in
+  if index < 1 || index > Array.length arr then
+    invalid_arg "Plan.id_at_index: index out of range";
+  arr.(index - 1)
+
+let goto p ~tau ~id =
+  let arr = p.pilot.Nlm.ids.(tau - 1) in
+  let target = ref None in
+  Array.iteri (fun j x -> if x = id then target := Some (j + 1)) arr;
+  match !target with
+  | None -> failwith "Plan.goto: id not found"
+  | Some idx ->
+      let dir = if idx > p.pilot.Nlm.pos.(tau - 1) then 1 else -1 in
+      while p.pilot.Nlm.pos.(tau - 1) <> idx do
+        advance p ~tau ~dir
+      done
+
+let contains_input i cell = List.mem i (Nlm.cell_inputs cell)
+
+let check_inputs_equal p ~eq i j =
+  let cs = cells p in
+  let visible k = Array.exists (contains_input k) cs in
+  if not (visible i) then
+    invalid_arg (Printf.sprintf "Plan.check_inputs_equal: In %d not visible" i);
+  if not (visible j) then
+    invalid_arg (Printf.sprintf "Plan.check_inputs_equal: In %d not visible" j);
+  let check ~values ~cells =
+    let find k =
+      if Array.exists (contains_input k) cells then Some values.(k - 1) else None
+    in
+    match (find i, find j) with
+    | Some a, Some b -> eq a b
+    | None, _ | _, None -> false
+  in
+  pause p ~check ()
+
+let build_choice_dispatch planners ~name ~accept_at_end =
+  (match planners with [] -> invalid_arg "Plan.build_choice_dispatch: empty" | _ -> ());
+  let first = List.hd planners in
+  List.iter
+    (fun p ->
+      if p.lists <> first.lists || p.input_length <> first.input_length then
+        invalid_arg "Plan.build_choice_dispatch: planner shapes differ")
+    planners;
+  let scripts =
+    Array.of_list (List.map (fun p -> Array.of_list (List.rev p.steps)) planners)
+  in
+  let k = Array.length scripts in
+  let stride = 1 + Array.fold_left (fun acc s -> max acc (Array.length s)) 0 scripts in
+  (* state encoding: 0 = dispatch; 1 + c*stride + i = step i of script c;
+     then the two sinks *)
+  let accept_state = 1 + (k * stride) in
+  let reject_state = accept_state + 1 in
+  let neutral_initial = Array.make first.lists { Nlm.dir = 1; move = false } in
+  let alpha ~values ~state ~cells ~choice =
+    if state = 0 then begin
+      let c = choice mod k in
+      if Array.length scripts.(c) = 0 then
+        { Nlm.next_state = accept_state; movements = neutral_initial }
+      else { Nlm.next_state = 1 + (c * stride); movements = neutral_initial }
+    end
+    else begin
+      let c = (state - 1) / stride in
+      let i = (state - 1) mod stride in
+      let script = scripts.(c) in
+      if i >= Array.length script then
+        invalid_arg "dispatch alpha: past end of script"
+      else begin
+        let s = script.(i) in
+        let ok = match s.check with None -> true | Some f -> f ~values ~cells in
+        let at_end = i + 1 >= Array.length script in
+        if ok then
+          {
+            Nlm.next_state = (if at_end then accept_state else state + 1);
+            movements = s.movements;
+          }
+        else
+          {
+            Nlm.next_state = reject_state;
+            movements =
+              Array.map (fun d -> { Nlm.dir = d; move = false }) s.dirs_before;
+          }
+      end
+    end
+  in
+  Nlm.make ~name ~lists:first.lists ~input_length:first.input_length
+    ~num_choices:k
+    ~state_count:(reject_state + 1)
+    ~initial:0
+    ~is_final:(fun s -> s >= accept_state)
+    ~is_accepting:(fun s -> s = accept_state && accept_at_end)
+    ~alpha
+
+let build p ~name ~accept_at_end =
+  let script = Array.of_list (List.rev p.steps) in
+  let len = Array.length script in
+  let accept_state = len in
+  let reject_state = len + 1 in
+  let alpha ~values ~state ~cells ~choice:_ =
+    if state >= len then invalid_arg "scripted alpha: final state"
+    else begin
+      let s = script.(state) in
+      let ok =
+        match s.check with None -> true | Some f -> f ~values ~cells
+      in
+      if ok then { Nlm.next_state = state + 1; movements = s.movements }
+      else
+        {
+          Nlm.next_state = reject_state;
+          movements =
+            Array.map (fun d -> { Nlm.dir = d; move = false }) s.dirs_before;
+        }
+    end
+  in
+  Nlm.make ~name ~lists:p.lists ~input_length:p.input_length ~num_choices:1
+    ~state_count:(len + 2) ~initial:0
+    ~is_final:(fun s -> s >= len)
+    ~is_accepting:(fun s -> s = accept_state && accept_at_end)
+    ~alpha

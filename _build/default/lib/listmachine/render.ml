@@ -1,0 +1,79 @@
+let sym_to_string = function
+  | Nlm.In i -> Printf.sprintf "v%d" i
+  | Nlm.Ch c -> Printf.sprintf "c%d" c
+  | Nlm.St a -> Printf.sprintf "a%d" a
+  | Nlm.Open -> "<"
+  | Nlm.Close -> ">"
+
+let cell_to_string ?(max_width = 24) cell =
+  let full = String.concat "" (List.map sym_to_string cell) in
+  if String.length full <= max_width then full
+  else begin
+    let keep = (max_width - 2) / 2 in
+    String.sub full 0 keep ^ ".." ^ String.sub full (String.length full - keep) keep
+  end
+
+let config_to_string ?max_width (c : Nlm.config) =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun tau list ->
+      Buffer.add_string buf (Printf.sprintf "list %d: " (tau + 1));
+      Array.iteri
+        (fun j cell ->
+          let s = cell_to_string ?max_width cell in
+          if j + 1 = c.Nlm.pos.(tau) then
+            Buffer.add_string buf (Printf.sprintf ">[%s]< " s)
+          else Buffer.add_string buf (Printf.sprintf "[%s] " s))
+        list;
+      Buffer.add_string buf
+        (Printf.sprintf "  (dir %+d, %d reversal%s)\n" c.Nlm.head_dir.(tau)
+           c.Nlm.revs.(tau)
+           (if c.Nlm.revs.(tau) = 1 then "" else "s")))
+    c.Nlm.contents;
+  Buffer.contents buf
+
+let trace_to_string ?max_width ?(max_steps = 20) (tr : Nlm.trace) =
+  let buf = Buffer.create 1024 in
+  let steps = Array.length tr.Nlm.moves in
+  Buffer.add_string buf "initial configuration:\n";
+  Buffer.add_string buf (config_to_string ?max_width tr.Nlm.configs.(0));
+  let shown = min steps max_steps in
+  for i = 0 to shown - 1 do
+    let mv =
+      String.concat ","
+        (Array.to_list (Array.map (Printf.sprintf "%+d") tr.Nlm.moves.(i)))
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "\nstep %d (choice %d, cell moves [%s]):\n" (i + 1)
+         tr.Nlm.choices_used.(i) mv);
+    Buffer.add_string buf (config_to_string ?max_width tr.Nlm.configs.(i + 1))
+  done;
+  if shown < steps then
+    Buffer.add_string buf (Printf.sprintf "\n... %d further steps elided ...\n" (steps - shown));
+  Buffer.add_string buf
+    (Printf.sprintf "\nrun %s after %d steps, %d reversals (%d scans)\n"
+       (if tr.Nlm.accepted then "ACCEPTS" else "rejects")
+       steps tr.Nlm.total_revs (Nlm.scans tr));
+  Buffer.contents buf
+
+let skeleton_summary (sk : Skeleton.t) =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun j entry ->
+      match entry with
+      | Skeleton.Collapsed -> ()
+      | Skeleton.View { state; dirs; cells = _ } ->
+          let dirs =
+            String.concat ""
+              (Array.to_list (Array.map (fun d -> if d = 1 then "+" else "-") dirs))
+          in
+          let positions =
+            match Skeleton.positions_of_entry entry with
+            | [] -> "-"
+            | ps -> String.concat "," (List.map string_of_int ps)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "entry %3d: state %3d dirs %s positions {%s}\n" j state
+               dirs positions))
+    sk.Skeleton.entries;
+  Buffer.contents buf

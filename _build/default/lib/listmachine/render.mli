@@ -1,0 +1,26 @@
+(** ASCII rendering of list machine configurations and runs — the
+    Figure 2 view, for debugging, examples, and documentation.
+
+    A configuration prints one line per list, cells boxed left to
+    right, the cell under the head marked with [>…<] and the head
+    direction appended:
+
+    {v list 1: [x1] [x2] >[x3]< [x4]   (dir +1, 0 reversals) v}
+
+    Cell contents longer than the width budget are elided around their
+    input symbols, which is usually what one wants to see. *)
+
+val cell_to_string : ?max_width:int -> Nlm.cell -> string
+(** Compact rendering, e.g. ["<v3>"] or ["a2<v1..><..>c0"]; elides the
+    middle when longer than [max_width] (default 24). *)
+
+val config_to_string : ?max_width:int -> Nlm.config -> string
+(** The multi-line configuration picture. *)
+
+val trace_to_string : ?max_width:int -> ?max_steps:int -> Nlm.trace -> string
+(** Step-by-step run rendering: each step shows the move vector and the
+    resulting configuration; elided after [max_steps] (default 20). *)
+
+val skeleton_summary : Skeleton.t -> string
+(** One line per non-collapsed skeleton entry: state, directions, and
+    the input positions visible under the heads. *)

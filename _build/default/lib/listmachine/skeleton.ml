@@ -1,0 +1,236 @@
+type ind_sym = IIn of int | IWild | ISt of int | IOpen | IClose
+
+type entry =
+  | View of { state : int; dirs : int array; cells : ind_sym list array }
+  | Collapsed
+
+type t = { entries : entry array; moves : int array array }
+
+let ind_of_cell cell =
+  List.map
+    (function
+      | Nlm.In i -> IIn i
+      | Nlm.Ch _ -> IWild
+      | Nlm.St a -> ISt a
+      | Nlm.Open -> IOpen
+      | Nlm.Close -> IClose)
+    cell
+
+let view_of_config (c : Nlm.config) =
+  View
+    {
+      state = c.Nlm.state;
+      dirs = Array.copy c.Nlm.head_dir;
+      cells = Array.map ind_of_cell (Nlm.current_cells c);
+    }
+
+let of_trace (tr : Nlm.trace) =
+  let n = Array.length tr.Nlm.configs in
+  let entries =
+    Array.init n (fun j ->
+        if j = 0 then view_of_config tr.Nlm.configs.(0)
+        else begin
+          let mv = tr.Nlm.moves.(j - 1) in
+          if Array.exists (fun d -> d <> 0) mv then view_of_config tr.Nlm.configs.(j)
+          else Collapsed
+        end)
+  in
+  { entries; moves = Array.map Array.copy tr.Nlm.moves }
+
+let serialize sk =
+  let buf = Buffer.create 256 in
+  let sym = function
+    | IIn i -> Buffer.add_string buf (Printf.sprintf "i%d," i)
+    | IWild -> Buffer.add_string buf "?,"
+    | ISt a -> Buffer.add_string buf (Printf.sprintf "a%d," a)
+    | IOpen -> Buffer.add_string buf "<"
+    | IClose -> Buffer.add_string buf ">"
+  in
+  Array.iter
+    (fun e ->
+      match e with
+      | Collapsed -> Buffer.add_string buf "|?"
+      | View v ->
+          Buffer.add_string buf (Printf.sprintf "|S%d[" v.state);
+          Array.iter (fun d -> Buffer.add_string buf (if d = 1 then "+" else "-")) v.dirs;
+          Buffer.add_string buf "]";
+          Array.iter
+            (fun cell ->
+              Buffer.add_string buf "{";
+              List.iter sym cell;
+              Buffer.add_string buf "}")
+            v.cells)
+    sk.entries;
+  Buffer.add_string buf "@";
+  Array.iter
+    (fun mv ->
+      Buffer.add_string buf "(";
+      Array.iter (fun d -> Buffer.add_string buf (string_of_int (d + 1))) mv;
+      Buffer.add_string buf ")")
+    sk.moves;
+  Buffer.contents buf
+
+let equal a b = serialize a = serialize b
+
+let positions_of_entry = function
+  | Collapsed -> []
+  | View v ->
+      let all =
+        Array.to_list v.cells
+        |> List.concat_map
+             (List.filter_map (function
+               | IIn i -> Some i
+               | IWild | ISt _ | IOpen | IClose -> None))
+      in
+      List.sort_uniq Int.compare all
+
+let compared sk i i' =
+  Array.exists
+    (fun e ->
+      let ps = positions_of_entry e in
+      List.mem i ps && List.mem i' ps)
+    sk.entries
+
+let compared_pairs sk =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun e ->
+      let ps = positions_of_entry e in
+      List.iteri
+        (fun idx i ->
+          List.iteri
+            (fun idx' i' -> if idx < idx' then Hashtbl.replace tbl (i, i') ())
+            ps)
+        ps)
+    sk.entries;
+  Hashtbl.fold (fun pr () acc -> pr :: acc) tbl []
+  |> List.sort compare
+
+let phi_compared_count sk ~m ~phi =
+  let count = ref 0 in
+  (* one scan collecting position sets per entry, then membership *)
+  let sets =
+    Array.to_list sk.entries
+    |> List.filter_map (fun e ->
+           match positions_of_entry e with [] -> None | ps -> Some ps)
+  in
+  for i = 1 to m do
+    let j = m + Util.Permutation.apply phi i in
+    if List.exists (fun ps -> List.mem i ps && List.mem j ps) sets then incr count
+  done;
+  !count
+
+let uncompared_phi_indices sk ~m ~phi =
+  let sets =
+    Array.to_list sk.entries
+    |> List.filter_map (fun e ->
+           match positions_of_entry e with [] -> None | ps -> Some ps)
+  in
+  List.filter
+    (fun i ->
+      let j = m + Util.Permutation.apply phi i in
+      not (List.exists (fun ps -> List.mem i ps && List.mem j ps) sets))
+    (List.init m (fun i0 -> i0 + 1))
+
+let monotone_partition_upper seq =
+  (* Greedy: maintain chains, each ascending or descending (direction
+     decided by its second element). Append to the chain whose tail is
+     closest while staying consistent; otherwise open a new chain. *)
+  let chains = ref [] in
+  (* chain = (last, direction) with direction 0 = undecided, ±1 *)
+  List.iter
+    (fun x ->
+      let best = ref None in
+      List.iteri
+        (fun idx (last, dirn) ->
+          let ok =
+            match dirn with
+            | 0 -> true
+            | 1 -> x >= last
+            | _ -> x <= last
+          in
+          if ok then begin
+            let badness = abs (x - last) in
+            match !best with
+            | Some (_, b) when b <= badness -> ()
+            | Some _ | None -> best := Some (idx, badness)
+          end)
+        !chains;
+      match !best with
+      | Some (idx, _) ->
+          chains :=
+            List.mapi
+              (fun k (last, dirn) ->
+                if k = idx then
+                  let dirn' =
+                    if dirn <> 0 then dirn
+                    else if x > last then 1
+                    else if x < last then -1
+                    else 0
+                  in
+                  (x, dirn')
+                else (last, dirn))
+              !chains
+      | None -> chains := (x, 0) :: !chains)
+    seq;
+  List.length !chains
+
+let replays_to ~machine ~values ~choices sk =
+  let tr = Nlm.run machine ~values ~choices in
+  equal (of_trace tr) sk
+
+let monotone_partition_exact ?(max_n = 16) seq =
+  let arr = Array.of_list seq in
+  let n = Array.length arr in
+  if n > max_n then invalid_arg "Skeleton.monotone_partition_exact: too long";
+  if n = 0 then 0
+  else begin
+    (* can [arr] be covered by k monotone chains? DFS over assignments;
+       chains are (last, direction) with direction 0 = undecided. Fresh
+       chains are opened in canonical order to kill symmetry. *)
+    let feasible k =
+      let last = Array.make k 0 and dirn = Array.make k 2 in
+      (* dirn: 2 = unopened, 0 = undecided, ±1 *)
+      let rec go i =
+        i = n
+        || begin
+             let x = arr.(i) in
+             let rec try_chain c opened_fresh =
+               c < k
+               && begin
+                    let ok, new_dirn =
+                      match dirn.(c) with
+                      | 2 -> (not opened_fresh, 0)
+                      | 0 ->
+                          if x > last.(c) then (true, 1)
+                          else if x < last.(c) then (true, -1)
+                          else (true, 0)
+                      | d ->
+                          if d = 1 then (x >= last.(c), 1) else (x <= last.(c), -1)
+                    in
+                    (if ok then begin
+                       let saved_l = last.(c) and saved_d = dirn.(c) in
+                       last.(c) <- x;
+                       dirn.(c) <- new_dirn;
+                       let r = go (i + 1) in
+                       last.(c) <- saved_l;
+                       dirn.(c) <- saved_d;
+                       r
+                     end
+                     else false)
+                    || try_chain (c + 1) (opened_fresh || dirn.(c) = 2)
+                  end
+             in
+             try_chain 0 false
+           end
+      in
+      go 0
+    in
+    let rec find k = if feasible k then k else find (k + 1) in
+    find 1
+  end
+
+let list_position_sequence (c : Nlm.config) tau =
+  if tau < 1 || tau > Array.length c.Nlm.contents then
+    invalid_arg "Skeleton.list_position_sequence";
+  Array.to_list c.Nlm.contents.(tau - 1) |> List.concat_map Nlm.cell_inputs

@@ -1,0 +1,1 @@
+lib/problems/decide.ml: Array Instance List Util

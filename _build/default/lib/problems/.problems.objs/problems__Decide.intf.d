@@ -1,0 +1,1 @@
+lib/problems/decide.mli: Instance Util

@@ -1,0 +1,1 @@
+lib/problems/disjoint.ml: Array Generators Hashtbl Instance Random Util

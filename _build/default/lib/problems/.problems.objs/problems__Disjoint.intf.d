@@ -1,0 +1,1 @@
+lib/problems/disjoint.mli: Generators Instance Random

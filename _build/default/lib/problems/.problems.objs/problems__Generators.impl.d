@@ -1,0 +1,1 @@
+lib/problems/generators.ml: Array Bytes Decide Instance Intervals Random Util

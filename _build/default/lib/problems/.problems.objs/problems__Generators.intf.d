@@ -1,0 +1,1 @@
+lib/problems/generators.mli: Decide Instance Intervals Random Util

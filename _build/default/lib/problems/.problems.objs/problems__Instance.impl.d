@@ -1,0 +1,1 @@
+lib/problems/instance.ml: Array Buffer Format List Printf String Util

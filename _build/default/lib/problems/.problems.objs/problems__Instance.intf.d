@@ -1,0 +1,1 @@
+lib/problems/instance.mli: Format Util

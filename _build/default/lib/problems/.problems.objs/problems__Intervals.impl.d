@@ -1,0 +1,1 @@
+lib/problems/intervals.ml: Util

@@ -1,0 +1,1 @@
+lib/problems/short.ml: Array Instance List Util

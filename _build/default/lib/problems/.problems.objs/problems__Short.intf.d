@@ -1,0 +1,1 @@
+lib/problems/short.mli: Instance Util

@@ -1,0 +1,62 @@
+module B = Util.Bitstring
+
+let sorted_copy a =
+  let c = Array.copy a in
+  Array.sort B.compare c;
+  c
+
+let multiset_equality inst =
+  let xs = sorted_copy (Instance.xs inst) in
+  let ys = sorted_copy (Instance.ys inst) in
+  Array.length xs = Array.length ys && Array.for_all2 B.equal xs ys
+
+let dedup_sorted a =
+  (* distinct elements of an already-sorted array *)
+  let out = ref [] in
+  Array.iter
+    (fun v ->
+      match !out with
+      | w :: _ when B.equal v w -> ()
+      | _ -> out := v :: !out)
+    a;
+  Array.of_list (List.rev !out)
+
+let set_equality inst =
+  let xs = dedup_sorted (sorted_copy (Instance.xs inst)) in
+  let ys = dedup_sorted (sorted_copy (Instance.ys inst)) in
+  Array.length xs = Array.length ys && Array.for_all2 B.equal xs ys
+
+let is_sorted a =
+  let ok = ref true in
+  for i = 0 to Array.length a - 2 do
+    if B.compare a.(i) a.(i + 1) > 0 then ok := false
+  done;
+  !ok
+
+let check_sort inst =
+  is_sorted (Instance.ys inst) && multiset_equality inst
+
+let check_phi ~phi inst =
+  let m = Instance.m inst in
+  if Util.Permutation.size phi <> m then
+    invalid_arg "Decide.check_phi: permutation size mismatch";
+  let ok = ref true in
+  for i = 1 to m do
+    if not (B.equal (Instance.x inst i) (Instance.y inst (Util.Permutation.apply phi i)))
+    then ok := false
+  done;
+  !ok
+
+type problem = Set_equality | Multiset_equality | Check_sort
+
+let decide = function
+  | Set_equality -> set_equality
+  | Multiset_equality -> multiset_equality
+  | Check_sort -> check_sort
+
+let problem_name = function
+  | Set_equality -> "SET-EQUALITY"
+  | Multiset_equality -> "MULTISET-EQUALITY"
+  | Check_sort -> "CHECK-SORT"
+
+let all_problems = [ Set_equality; Multiset_equality; Check_sort ]

@@ -1,0 +1,29 @@
+(** Reference deciders for the four decision problems (Section 3 and
+    Lemma 22).
+
+    These are straightforward in-memory implementations used as ground
+    truth: every resource-bounded algorithm in the repository is checked
+    against them. *)
+
+val set_equality : Instance.t -> bool
+(** [{v_1..v_m} = {v'_1..v'_m}] as sets. *)
+
+val multiset_equality : Instance.t -> bool
+(** Equality as multisets (same elements with multiplicities). *)
+
+val check_sort : Instance.t -> bool
+(** [(v'_1..v'_m)] is the lexicographically ascending sorted version of
+    [(v_1..v_m)] — i.e. the multisets agree and the second list is
+    sorted. *)
+
+val check_phi : phi:Util.Permutation.t -> Instance.t -> bool
+(** The CHECK-ϕ problem of Lemma 22:
+    [(v_1,..,v_m) = (v'_ϕ(1),..,v'_ϕ(m))].
+    @raise Invalid_argument if [size phi] differs from the instance's
+    [m]. *)
+
+type problem = Set_equality | Multiset_equality | Check_sort
+
+val decide : problem -> Instance.t -> bool
+val problem_name : problem -> string
+val all_problems : problem list

@@ -1,0 +1,55 @@
+module B = Util.Bitstring
+
+let decide inst =
+  let xs = Instance.xs inst and ys = Instance.ys inst in
+  let tbl = Hashtbl.create (Array.length xs) in
+  Array.iter (fun v -> Hashtbl.replace tbl (B.to_string v) ()) xs;
+  not (Array.exists (fun v -> Hashtbl.mem tbl (B.to_string v)) ys)
+
+let yes_instance st ~m ~n =
+  if n < 1 then invalid_arg "Disjoint.yes_instance: n >= 1";
+  (* top bit 0 on the left half, 1 on the right: disjoint by construction *)
+  let tagged bit =
+    Array.init m (fun _ ->
+        B.concat [ B.of_int ~width:1 bit; B.random st ~width:(n - 1) ])
+  in
+  Instance.make (tagged 0) (tagged 1)
+
+let no_instance st ~m ~n =
+  if m < 1 || n < 1 then invalid_arg "Disjoint.no_instance: m, n >= 1";
+  let base = yes_instance st ~m ~n in
+  let ys = Instance.ys base in
+  (* plant one shared value *)
+  ys.(Random.State.int st m) <- Instance.x base (1 + Random.State.int st m);
+  Instance.make (Instance.xs base) ys
+
+let labelled st ~m ~n =
+  if Random.State.bool st then (yes_instance st ~m ~n, true)
+  else (no_instance st ~m ~n, false)
+
+let compose_halves v w =
+  if Instance.m v <> Instance.m w then
+    invalid_arg "Disjoint.compose_halves: m mismatch";
+  Instance.make (Instance.xs v) (Instance.ys w)
+
+let composition_preserves_yes st ~problem ~m ~n ~trials =
+  let draw_yes () =
+    match problem with
+    | `Disjoint -> yes_instance st ~m ~n
+    | `Checkphi space -> Generators.Checkphi.yes st space
+  in
+  let is_yes inst =
+    match problem with
+    | `Disjoint -> decide inst
+    | `Checkphi space -> Generators.Checkphi.is_yes space inst
+  in
+  let preserved = ref 0 in
+  let done_ = ref 0 in
+  while !done_ < trials do
+    let v = draw_yes () and w = draw_yes () in
+    if not (Instance.equal v w) then begin
+      incr done_;
+      if is_yes (compose_halves v w) then incr preserved
+    end
+  done;
+  !preserved

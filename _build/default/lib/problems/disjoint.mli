@@ -1,0 +1,45 @@
+(** The DISJOINT-SETS problem — the paper's explicitly open case
+    (Section 9).
+
+    {v DISJOINT-SETS: given v1#…#vm#v'1#…#v'm#,
+       decide whether {v1,..,vm} ∩ {v'1,..,v'm} = ∅ v}
+
+    The paper could not prove an RST lower bound for it even though it
+    "looks very similar to the set equality problem". This module makes
+    the problem — and the {e reason the Lemma 21 proof breaks} —
+    concrete. The adversary's decisive step composes the halves of two
+    accepted yes-instances that differ at an uncompared pair; for
+    CHECK-ϕ this {e creates} a mismatch (a no-instance), but for
+    DISJOINT-SETS yes-ness means "everything already differs", and
+    crossing halves of two disjoint instances almost never manufactures
+    the required {e equality}. {!composition_preserves_yes} measures
+    that collapse; experiment E13 tabulates it against CHECK-ϕ. *)
+
+val decide : Instance.t -> bool
+(** [true] iff the two halves are disjoint as sets. *)
+
+val yes_instance : Random.State.t -> m:int -> n:int -> Instance.t
+(** Random disjoint instance (halves separated by the top value bit).
+    Requires [n ≥ 1]. *)
+
+val no_instance : Random.State.t -> m:int -> n:int -> Instance.t
+(** Random intersecting instance (one shared value planted). Requires
+    [m ≥ 1], [n ≥ 1]. *)
+
+val labelled : Random.State.t -> m:int -> n:int -> Instance.t * bool
+
+val compose_halves : Instance.t -> Instance.t -> Instance.t
+(** [compose_halves v w] is the adversary's crossing step: the
+    x-half of [v] with the y-half of [w].
+    @raise Invalid_argument if the instances have different [m]. *)
+
+val composition_preserves_yes :
+  Random.State.t -> problem:[ `Disjoint | `Checkphi of Generators.Checkphi.space ] ->
+  m:int -> n:int -> trials:int -> int
+(** Draw [trials] pairs of {e distinct} random yes-instances of the
+    problem, cross their halves, and count how many compositions are
+    {e still} yes-instances. For CHECK-ϕ the count is 0 (crossing
+    different witnesses always breaks a pair — this is what hands the
+    adversary its fooling input); for DISJOINT-SETS it is essentially
+    [trials] (crossing disjoint halves stays disjoint), which is why
+    the same pipeline cannot refute a disjointness verifier. *)

@@ -1,0 +1,116 @@
+module B = Util.Bitstring
+module P = Util.Permutation
+
+let random_half st ~m ~n = Array.init m (fun _ -> B.random st ~width:n)
+
+let shuffle st a =
+  let a = Array.copy a in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let yes_instance st problem ~m ~n =
+  let xs = random_half st ~m ~n in
+  let ys =
+    match problem with
+    | Decide.Set_equality | Decide.Multiset_equality -> shuffle st xs
+    | Decide.Check_sort ->
+        let s = Array.copy xs in
+        Array.sort B.compare s;
+        s
+  in
+  Instance.make xs ys
+
+let flip_random_bit st v =
+  let n = B.length v in
+  let i = Random.State.int st n in
+  let s = Bytes.of_string (B.to_string v) in
+  Bytes.set s i (if Bytes.get s i = '0' then '1' else '0');
+  B.of_string (Bytes.to_string s)
+
+let no_instance st problem ~m ~n =
+  if m < 1 || n < 1 then invalid_arg "Generators.no_instance: m, n >= 1";
+  let rec attempt () =
+    let base = yes_instance st problem ~m ~n in
+    let ys = Instance.ys base in
+    let j = Random.State.int st m in
+    ys.(j) <- flip_random_bit st ys.(j);
+    let inst = Instance.make (Instance.xs base) ys in
+    if Decide.decide problem inst then attempt () else inst
+  in
+  attempt ()
+
+let labelled st problem ~m ~n =
+  if Random.State.bool st then (yes_instance st problem ~m ~n, true)
+  else (no_instance st problem ~m ~n, false)
+
+let set_yes_multiset_no st ~m ~n =
+  if m < 3 then invalid_arg "Generators.set_yes_multiset_no: m >= 3";
+  if n >= 62 || 1 lsl n <= m then
+    invalid_arg "Generators.set_yes_multiset_no: need 2^n > m, n < 62";
+  (* Both halves carry the m-1 distinct values d_0..d_{m-2}; xs
+     duplicates d_0, ys duplicates d_1. Sets agree, multiplicities
+     don't. (For m = 2 no such instance exists.) *)
+  let d = Array.init (m - 1) (fun i -> B.of_int ~width:n i) in
+  let xs = Array.init m (fun i -> if i = 0 then d.(0) else d.(i - 1)) in
+  let ys = Array.init m (fun i -> if i = 0 then d.(1) else d.(i - 1)) in
+  Instance.make (shuffle st xs) (shuffle st ys)
+
+module Checkphi = struct
+  type space = { phi : P.t; intervals : Intervals.t }
+
+  let make_space ~m ~n ~phi =
+    if P.size phi <> m then invalid_arg "Checkphi.make_space: phi size";
+    let intervals = Intervals.make ~m ~n in
+    if n <= Intervals.log2m intervals then
+      invalid_arg "Checkphi.make_space: intervals must have >= 2 elements";
+    { phi; intervals }
+
+  let default_space ~m ~n = make_space ~m ~n ~phi:(P.reverse_binary m)
+  let phi s = s.phi
+  let intervals s = s.intervals
+
+  let member s inst =
+    let m = P.size s.phi in
+    Instance.m inst = m
+    && (match Instance.uniform_length inst with
+       | Some n -> n = Intervals.n s.intervals
+       | None -> false)
+    &&
+    let ok = ref true in
+    for i = 1 to m do
+      if not (Intervals.mem s.intervals (P.apply s.phi i) (Instance.x inst i))
+      then ok := false;
+      if not (Intervals.mem s.intervals i (Instance.y inst i)) then ok := false
+    done;
+    !ok
+
+  let yes st s =
+    let m = P.size s.phi in
+    let inv = P.inverse s.phi in
+    let xs =
+      Array.init m (fun i0 ->
+          Intervals.random_element st s.intervals (P.apply s.phi (i0 + 1)))
+    in
+    (* v'_j must equal v_{ϕ⁻¹(j)}, which indeed lies in I_j. *)
+    let ys = Array.init m (fun j0 -> xs.(P.apply inv (j0 + 1) - 1)) in
+    Instance.make xs ys
+
+  let no st s =
+    let m = P.size s.phi in
+    let base = yes st s in
+    let ys = Instance.ys base in
+    let j = Random.State.int st m in
+    let rec fresh () =
+      let w = Intervals.random_element st s.intervals (j + 1) in
+      if B.equal w ys.(j) then fresh () else w
+    in
+    ys.(j) <- fresh ();
+    Instance.make (Instance.xs base) ys
+
+  let is_yes s inst = Decide.check_phi ~phi:s.phi inst
+end

@@ -1,0 +1,71 @@
+module B = Util.Bitstring
+module P = Util.Permutation
+
+let exact_log2 m =
+  let rec go acc x = if x <= 1 then acc else go (acc + 1) (x lsr 1) in
+  if m < 1 || m land (m - 1) <> 0 then None else Some (go 0 m)
+
+let block_length ~m =
+  match exact_log2 m with
+  | Some lg when lg >= 1 -> 5 * lg
+  | Some _ | None -> invalid_arg "Short.block_length: m must be a power of two >= 2"
+
+let blocks_per_string ~m ~n =
+  match exact_log2 m with
+  | Some lg when lg >= 1 -> (n + lg - 1) / lg
+  | Some _ | None ->
+      invalid_arg "Short.blocks_per_string: m must be a power of two >= 2"
+
+let pad_to v ~len =
+  (* pad with leading zeroes, as the paper pads the last sub-block *)
+  let short = len - B.length v in
+  if short < 0 then invalid_arg "Short.pad_to"
+  else if short = 0 then v
+  else B.concat [ B.zero ~width:short; v ]
+
+let split_blocks v ~lg ~mu =
+  let padded = pad_to v ~len:(lg * mu) in
+  Array.init mu (fun j -> B.sub padded ~pos:(j * lg) ~len:lg)
+
+let reduce ~phi inst =
+  let m = Instance.m inst in
+  if P.size phi <> m then invalid_arg "Short.reduce: phi size mismatch";
+  let lg =
+    match exact_log2 m with
+    | Some lg when lg >= 1 -> lg
+    | Some _ | None -> invalid_arg "Short.reduce: m must be a power of two >= 2"
+  in
+  let n =
+    match Instance.uniform_length inst with
+    | Some n when n >= 1 -> n
+    | Some _ -> invalid_arg "Short.reduce: strings must be nonempty"
+    | None -> invalid_arg "Short.reduce: strings must have uniform length"
+  in
+  let mu = (n + lg - 1) / lg in
+  if mu > m * m * m then invalid_arg "Short.reduce: mu > m^3, BIN' overflows";
+  let bin i = B.of_int ~width:lg (i - 1) in
+  let bin' j = B.of_int ~width:(3 * lg) (j - 1) in
+  let half header strings =
+    (* block (i, j) at output index (i-1)·µ + (j-1) *)
+    Array.concat
+      (List.init m (fun i0 ->
+           let blocks = split_blocks strings.(i0) ~lg ~mu in
+           Array.mapi
+             (fun j0 blk -> B.concat [ header (i0 + 1); bin' (j0 + 1); blk ])
+             blocks))
+  in
+  let xs = half (fun i -> bin (P.apply phi i)) (Instance.xs inst) in
+  let ys = half bin (Instance.ys inst) in
+  Instance.make xs ys
+
+let is_short ~c inst =
+  let m' = Instance.m inst in
+  if m' = 0 then true
+  else begin
+    let bound =
+      let lg = int_of_float (ceil (log (float_of_int m') /. log 2.0)) in
+      c * max 1 lg
+    in
+    let ok = Array.for_all (fun v -> B.length v <= bound) in
+    ok (Instance.xs inst) && ok (Instance.ys inst)
+  end

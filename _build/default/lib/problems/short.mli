@@ -1,0 +1,34 @@
+(** SHORT problem versions and the Corollary 7 reduction (Appendix E).
+
+    The SHORT versions restrict instances to strings of length at most
+    [c·log m'] for a constant [c ≥ 2]. Appendix E reduces CHECK-ϕ (with
+    strings of length [n]) to the SHORT problems: each [v_i] is split
+    into [µ = ⌈n / log m⌉] sub-blocks of [log m] bits, and block [(i,j)]
+    becomes the short string
+
+    {v  BIN(ϕ(i)) · BIN'(j) · v_{i,j}      (first half)
+        BIN(i)    · BIN'(j) · v'_{i,j}     (second half) v}
+
+    where [BIN] is a [log m]-bit index and [BIN'] a [3·log m]-bit block
+    counter. The mapping preserves yes-ness for SHORT-MULTISET-EQUALITY,
+    SHORT-SET-EQUALITY and SHORT-CHECK-SORT, and only needs a constant
+    number of scans to compute — so a fast algorithm for a SHORT problem
+    would yield one for CHECK-ϕ. *)
+
+val reduce :
+  phi:Util.Permutation.t -> Instance.t -> Instance.t
+(** [reduce ~phi inst] is the Appendix-E image [f(inst)] of a CHECK-ϕ
+    instance: [m' = µ·m] strings of length [5·log m] per half.
+    @raise Invalid_argument unless the instance has [m = size phi ≥ 2]
+    strings per half, [m] a power of two, a uniform string length
+    [n ≥ 1], and [µ = ⌈n / log2 m⌉ ≤ m³]. *)
+
+val is_short : c:int -> Instance.t -> bool
+(** Whether every string has length [≤ c·log2 m'] (with [m'] the
+    instance's own string count) — membership in the SHORT fragment. *)
+
+val block_length : m:int -> int
+(** Length [5·log2 m] of the short strings produced by {!reduce}. *)
+
+val blocks_per_string : m:int -> n:int -> int
+(** [µ = ⌈n / log2 m⌉]. *)

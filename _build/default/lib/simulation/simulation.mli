@@ -1,0 +1,71 @@
+(** The simulation lemma (Lemma 16), executable: a Turing machine run
+    drives a list machine run with the same acceptance behaviour.
+
+    The construction maps each external TM tape to one list: the tape is
+    partitioned into {e blocks} (initially, tape 1 into the [m] input
+    segments [v_i#] and each auxiliary tape into a single block), and
+    the list holds one cell per block. The list machine "acts" only when
+    a TM head leaves its current block or changes direction — everything
+    the TM does in between happens inside one list-machine step. Hence
+    each list head turns at most as often as the corresponding TM head,
+    and the list machine's reversal budget is bounded by the TM's.
+
+    Two deliberate simplifications relative to the paper's proof, which
+    do not affect what we verify:
+
+    - the paper {e splits} blocks dynamically so that block contents can
+      be reconstructed from the machine's (huge, finite) state space —
+      making [|A|] finite is the point of the counting bound (2). We
+      instead keep the TM configuration alongside the run and keep the
+      initial partition static; the bound (2) is still computed
+      numerically by {!abstract_state_bound_log2};
+    - when junk cells spliced by Definition 24's forced writes land
+      between block cells, the list head simply walks across them in the
+      same direction — this lengthens the run but never adds reversals,
+      so the resource comparison below is unaffected.
+
+    What E7 verifies on top of this module: acceptance always agrees
+    (per run, and as estimated probabilities for nondeterministic
+    machines — Lemma 16's statement), and the list machine's reversals
+    never exceed the TM's. *)
+
+type result = {
+  tm_stats : Turing.Machine.run_stats;
+  lm_trace : Listmachine.Nlm.trace;
+      (** a genuine Definition 24 run; values are the input segments *)
+  lm_reversals : int;
+  tm_ext_reversals : int;
+  crossings : int;  (** block-boundary crossing events *)
+  agreement : bool;  (** same acceptance on both sides *)
+}
+
+val simulate :
+  ?fuel:int ->
+  Turing.Machine.t ->
+  inputs:string array ->
+  choices:(int -> int) ->
+  result
+(** Run the TM on [v_1 # v_2 # … v_m #] (the [inputs] must not contain
+    ['#']) and derive the simulating list-machine run.
+    @raise Invalid_argument if the TM is not normalized (at most one
+    head moving per step — Lemma 16 assumes it; use
+    {!Turing.Machine.normalize}). *)
+
+val acceptance_agreement :
+  Random.State.t ->
+  ?samples:int ->
+  Turing.Machine.t ->
+  inputs:string array ->
+  float * float
+(** Estimated acceptance probabilities [(tm, lm)] over uniformly random
+    choice sequences — equal in distribution by Lemma 16; the test
+    suite checks they coincide within sampling error. *)
+
+val abstract_state_bound_log2 :
+  d:int -> t:int -> r:int -> s:int -> m:int -> n:int -> float
+(** [log2] of bound (2) on the simulating machine's state count:
+    [d·t²·r(m(n+1))·s(m(n+1)) + 3t·log2(m(n+1))]. *)
+
+val choice_sequence_bound_log2 : c:int -> r:int -> s:int -> t:int -> n:int -> float
+(** [log2 |C|] where [|C| ≤ 2^{O(ℓ(N))}] and [ℓ(N) = N·2^{c·r·(t+s)}]
+    is the Lemma 3 run-length bound. *)

@@ -1,0 +1,225 @@
+type direction = Left | Right
+
+exception Budget_exceeded of string
+
+module Meter = struct
+  type t = {
+    mutable current : int;
+    mutable peak : int;
+    mutable limit : int option;
+  }
+
+  let create () = { current = 0; peak = 0; limit = None }
+
+  let alloc m n =
+    if n < 0 then invalid_arg "Meter.alloc: negative";
+    m.current <- m.current + n;
+    if m.current > m.peak then begin
+      m.peak <- m.current;
+      match m.limit with
+      | Some lim when m.peak > lim ->
+          raise
+            (Budget_exceeded
+               (Printf.sprintf "internal memory: peak %d > budget %d" m.peak lim))
+      | Some _ | None -> ()
+    end
+
+  let free m n =
+    if n < 0 || n > m.current then invalid_arg "Meter.free: underflow";
+    m.current <- m.current - n
+
+  let with_units m n f =
+    alloc m n;
+    Fun.protect ~finally:(fun () -> free m n) f
+
+  let current m = m.current
+  let peak m = m.peak
+end
+
+type member = {
+  m_name : string;
+  m_revs : unit -> int;
+  m_cells : unit -> int;
+}
+
+type group_state = {
+  mutable members : member list; (* reversed registration order *)
+  g_meter : Meter.t;
+  max_scans : int option;
+}
+
+type 'a t = {
+  name : string;
+  blank : 'a;
+  mutable cells : 'a array;
+  mutable used : int;
+  mutable pos : int;
+  mutable dir : direction;
+  mutable revs : int;
+  mutable group : group_state option;
+}
+
+let fresh_counter = ref 0
+
+let create ?name ~blank () =
+  incr fresh_counter;
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "tape%d" !fresh_counter
+  in
+  {
+    name;
+    blank;
+    cells = Array.make 16 blank;
+    used = 0;
+    pos = 0;
+    dir = Right;
+    revs = 0;
+    group = None;
+  }
+
+let touch tp pos =
+  if pos >= tp.used then tp.used <- pos + 1;
+  if pos >= Array.length tp.cells then begin
+    let cap = max (pos + 1) (2 * Array.length tp.cells) in
+    let fresh = Array.make cap tp.blank in
+    Array.blit tp.cells 0 fresh 0 (Array.length tp.cells);
+    tp.cells <- fresh
+  end
+
+let of_list ?name ~blank items =
+  let tp = create ?name ~blank () in
+  List.iteri
+    (fun i x ->
+      touch tp i;
+      tp.cells.(i) <- x)
+    items;
+  tp
+
+let name tp = tp.name
+
+let read tp =
+  touch tp tp.pos;
+  tp.cells.(tp.pos)
+
+let write tp x =
+  touch tp tp.pos;
+  tp.cells.(tp.pos) <- x
+
+let total_group_reversals g =
+  List.fold_left (fun acc m -> acc + m.m_revs ()) 0 g.members
+
+let check_scan_budget tp =
+  match tp.group with
+  | None -> ()
+  | Some g -> (
+      match g.max_scans with
+      | None -> ()
+      | Some lim ->
+          let scans = 1 + total_group_reversals g in
+          if scans > lim then
+            raise
+              (Budget_exceeded
+                 (Printf.sprintf "scans: %d > budget %d (reversal on %s)" scans
+                    lim tp.name)))
+
+let move tp dir =
+  (match dir with
+  | Left -> if tp.pos = 0 then invalid_arg "Tape.move: left of position 0"
+  | Right -> ());
+  if dir <> tp.dir then begin
+    tp.revs <- tp.revs + 1;
+    tp.dir <- dir;
+    check_scan_budget tp
+  end;
+  tp.pos <- (match dir with Left -> tp.pos - 1 | Right -> tp.pos + 1);
+  touch tp tp.pos
+
+let position tp = tp.pos
+let head_direction tp = tp.dir
+let at_left_end tp = tp.pos = 0
+let reversals tp = tp.revs
+let cells_used tp = tp.used
+
+let rewind tp =
+  while tp.pos > 0 do
+    move tp Left
+  done
+
+let to_list tp = Array.to_list (Array.sub tp.cells 0 tp.used)
+
+let iter_right tp f =
+  (* capture the content boundary first: moving right extends [used] *)
+  let stop = tp.used in
+  while tp.pos < stop do
+    f (read tp);
+    move tp Right
+  done
+
+let tape_create = create
+let tape_of_list' = of_list
+
+module Group = struct
+  type t = group_state
+
+  type budget = { max_scans : int option; max_internal : int option }
+
+  let unlimited = { max_scans = None; max_internal = None }
+
+  let create ?(budget = unlimited) () =
+    let meter = Meter.create () in
+    meter.Meter.limit <- budget.max_internal;
+    { members = []; g_meter = meter; max_scans = budget.max_scans }
+
+  let add_tape g tp =
+    (match tp.group with
+    | Some _ -> invalid_arg "Group.add_tape: tape already grouped"
+    | None -> ());
+    tp.group <- Some g;
+    g.members <-
+      {
+        m_name = tp.name;
+        m_revs = (fun () -> tp.revs);
+        m_cells = (fun () -> tp.used);
+      }
+      :: g.members
+
+  let tape g ?name ~blank () =
+    let tp = tape_create ?name ~blank () in
+    add_tape g tp;
+    tp
+
+  let tape_of_list g ?name ~blank items =
+    let tp = tape_of_list' ?name ~blank items in
+    add_tape g tp;
+    tp
+
+  let meter g = g.g_meter
+  let total_reversals = total_group_reversals
+  let scans g = 1 + total_reversals g
+  let internal_peak g = Meter.peak g.g_meter
+
+  type report = {
+    scans_used : int;
+    reversals_by_tape : (string * int) list;
+    internal_peak_units : int;
+    cells_by_tape : (string * int) list;
+  }
+
+  let report g =
+    let members = List.rev g.members in
+    {
+      scans_used = scans g;
+      reversals_by_tape = List.map (fun m -> (m.m_name, m.m_revs ())) members;
+      internal_peak_units = internal_peak g;
+      cells_by_tape = List.map (fun m -> (m.m_name, m.m_cells ())) members;
+    }
+
+  let pp_report ppf r =
+    let pp_pairs =
+      Fmt.list ~sep:(Fmt.any ",@ ") (Fmt.pair ~sep:(Fmt.any "=") Fmt.string Fmt.int)
+    in
+    Format.fprintf ppf
+      "@[<v>scans: %d@,reversals: @[%a@]@,internal peak: %d@,cells: @[%a@]@]"
+      r.scans_used pp_pairs r.reversals_by_tape r.internal_peak_units pp_pairs
+      r.cells_by_tape
+end

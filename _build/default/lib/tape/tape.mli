@@ -1,0 +1,135 @@
+(** Instrumented external-memory tapes — the cost model of the paper.
+
+    The ST(r,s,t) model (Definitions 1 and 2) charges two resources:
+
+    - [r(N)]: one plus the total number of head-direction changes
+      ({e reversals}) over all [t] external-memory tapes, i.e. the number
+      of sequential scans;
+    - [s(N)]: the total space used on the internal-memory tapes.
+
+    This module provides one-sided-infinite tapes whose heads track their
+    direction and count reversals, an internal-memory {!Meter}, and a
+    {!Group} that aggregates both against an optional budget so that an
+    algorithm implemented on this substrate is {e resource-sound by
+    construction}: its reported scan count and internal-memory peak are
+    measured, not claimed. *)
+
+type direction = Left | Right
+
+type 'a t
+(** A one-sided-infinite tape with cells holding values of type ['a]
+    (blank-initialized), a read/write head, and reversal accounting.
+    Cell positions are 0-based; the head starts at position 0 moving
+    {!Right}. *)
+
+exception Budget_exceeded of string
+(** Raised by any movement or allocation that would exceed the enclosing
+    {!Group}'s budget. The payload describes the violated resource. *)
+
+val create : ?name:string -> blank:'a -> unit -> 'a t
+(** An empty tape. [name] appears in reports and error messages. *)
+
+val of_list : ?name:string -> blank:'a -> 'a list -> 'a t
+(** A tape pre-loaded with the given cells starting at position 0. *)
+
+val name : 'a t -> string
+
+val read : 'a t -> 'a
+(** The cell under the head (blank if never written). *)
+
+val write : 'a t -> 'a -> unit
+(** Overwrite the cell under the head. *)
+
+val move : 'a t -> direction -> unit
+(** Move the head one cell. A change of direction relative to the
+    previous movement increments the reversal counter.
+    @raise Invalid_argument when moving [Left] at position 0. *)
+
+val position : 'a t -> int
+val head_direction : 'a t -> direction
+(** Direction of the most recent movement ([Right] initially). *)
+
+val at_left_end : 'a t -> bool
+
+val reversals : 'a t -> int
+(** Head-direction changes so far on this tape. *)
+
+val cells_used : 'a t -> int
+(** Highest position ever visited or written, plus one. *)
+
+val rewind : 'a t -> unit
+(** Move the head back to position 0 by repeated [move Left]
+    (costing one reversal if the head was last moving right and is not
+    already at position 0). *)
+
+val to_list : 'a t -> 'a list
+(** Cells [0 .. cells_used - 1] as a list (includes blanks). *)
+
+val iter_right : 'a t -> ('a -> unit) -> unit
+(** Scan from the current position to the last used cell, applying the
+    function to each cell and moving the head right past the end of the
+    used region. *)
+
+(** Internal-memory meter (the [s(N)] resource). *)
+module Meter : sig
+  type t
+
+  val create : unit -> t
+
+  val alloc : t -> int -> unit
+  (** Charge [n ≥ 0] units (bytes/cells — the unit is the caller's
+      convention, kept consistent per algorithm). *)
+
+  val free : t -> int -> unit
+  (** Release [n] units. @raise Invalid_argument on underflow. *)
+
+  val with_units : t -> int -> (unit -> 'b) -> 'b
+  (** [with_units m n f] allocates [n], runs [f], frees [n] (also on
+      exceptions). *)
+
+  val current : t -> int
+  val peak : t -> int
+end
+
+(** Aggregation of tapes + meter against an [(r, s, t)] budget. *)
+module Group : sig
+  type 'a tape := 'a t
+  type t
+
+  type budget = {
+    max_scans : int option;  (** bound on [1 + Σ reversals] *)
+    max_internal : int option;  (** bound on the meter's peak *)
+  }
+
+  val unlimited : budget
+
+  val create : ?budget:budget -> unit -> t
+
+  val add_tape : t -> 'a tape -> unit
+  (** Register a tape; all its subsequent reversals count toward the
+      group's scan budget.
+      @raise Invalid_argument if the tape already belongs to a group. *)
+
+  val tape : t -> ?name:string -> blank:'a -> unit -> 'a tape
+  (** Create and register in one step. *)
+
+  val tape_of_list : t -> ?name:string -> blank:'a -> 'a list -> 'a tape
+
+  val meter : t -> Meter.t
+
+  val total_reversals : t -> int
+  val scans : t -> int
+  (** [1 + total_reversals] — the paper's [r(N)] usage. *)
+
+  val internal_peak : t -> int
+
+  type report = {
+    scans_used : int;
+    reversals_by_tape : (string * int) list;
+    internal_peak_units : int;
+    cells_by_tape : (string * int) list;
+  }
+
+  val report : t -> report
+  val pp_report : Format.formatter -> report -> unit
+end

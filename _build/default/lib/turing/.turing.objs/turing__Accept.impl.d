@@ -1,0 +1,1 @@
+lib/turing/accept.ml: List Machine Random String

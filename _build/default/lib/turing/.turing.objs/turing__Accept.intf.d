@@ -1,0 +1,1 @@
+lib/turing/accept.mli: Machine Random

@@ -1,0 +1,1 @@
+lib/turing/build.ml: Array List Machine String

@@ -1,0 +1,1 @@
+lib/turing/closure.ml: Array Char Hashtbl List Machine Printf String

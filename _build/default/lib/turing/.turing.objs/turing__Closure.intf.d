@@ -1,0 +1,1 @@
+lib/turing/closure.mli: Machine

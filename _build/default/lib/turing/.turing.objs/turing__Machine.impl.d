@@ -1,0 +1,1 @@
+lib/turing/machine.ml: Array Bytes Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/turing/render.ml: Array Buffer List Machine Option Printf String

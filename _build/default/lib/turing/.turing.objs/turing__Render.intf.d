@@ -1,0 +1,1 @@
+lib/turing/render.mli: Machine

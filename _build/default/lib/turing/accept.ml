@@ -1,0 +1,78 @@
+type prob_stats = { probability : float; runs_explored : int; max_steps : int }
+
+let exact_probability ?(fuel = 100_000) m ~input =
+  let expanded = ref 0 in
+  let runs = ref 0 in
+  let deepest = ref 0 in
+  let rec go c depth =
+    incr expanded;
+    if !expanded > fuel then failwith "Accept.exact_probability: out of fuel";
+    if Machine.is_final m c then begin
+      incr runs;
+      if depth > !deepest then deepest := depth;
+      if Machine.is_accepting m c then 1.0 else 0.0
+    end
+    else begin
+      match Machine.enabled m c with
+      | [] -> failwith "Accept.exact_probability: stuck configuration"
+      | trs ->
+          let k = float_of_int (List.length trs) in
+          List.fold_left
+            (fun acc tr -> acc +. (go (Machine.apply m c tr) (depth + 1) /. k))
+            0.0 trs
+    end
+  in
+  let p = go (Machine.initial_config m input) 0 in
+  { probability = p; runs_explored = !runs; max_steps = !deepest }
+
+let estimate_probability st ?(samples = 1000) ?fuel m ~input =
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    let stats =
+      Machine.run ?fuel m ~input ~choices:(fun _ -> Random.State.full_int st max_int)
+    in
+    if stats.Machine.outcome = Machine.Accepted then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples
+
+type bound_report = { scans_used : int; int_space_used : int; within : bool }
+
+let check_bounded ~r ~s m ~input ~choices =
+  let stats = Machine.run m ~input ~choices in
+  let n = String.length input in
+  let scans_used = Machine.scans stats in
+  let int_space_used = Machine.total_int_space stats in
+  { scans_used; int_space_used; within = scans_used <= r n && int_space_used <= s n }
+
+let one_sided_monte_carlo st ?(samples = 400) m ~positives ~negatives =
+  let sample_accepts input =
+    let stats =
+      Machine.run m ~input ~choices:(fun _ -> Random.State.full_int st max_int)
+    in
+    stats.Machine.outcome = Machine.Accepted
+  in
+  let bad_negative =
+    List.find_opt
+      (fun w ->
+        let rec any i = i < samples && (sample_accepts w || any (i + 1)) in
+        any 0)
+      negatives
+  in
+  match bad_negative with
+  | Some w -> `False_positive w
+  | None -> (
+      let weak =
+        List.filter_map
+          (fun w ->
+            let hits = ref 0 in
+            for _ = 1 to samples do
+              if sample_accepts w then incr hits
+            done;
+            let p = float_of_int !hits /. float_of_int samples in
+            if p < 0.45 then Some (w, p) else None)
+          positives
+      in
+      match weak with [] -> `Ok | (w, p) :: _ -> `Low_acceptance (w, p))
+
+let lemma3_bound ~n ~r ~s ~t ~c =
+  float_of_int n *. (2.0 ** float_of_int (c * r * (t + s)))

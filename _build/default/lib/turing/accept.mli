@@ -1,0 +1,53 @@
+(** Acceptance probability and resource-bound checking for NTMs.
+
+    Randomized semantics (Section 2): each step picks a uniformly random
+    element of [Next_T(γ)]; [Pr(T accepts w)] is the total probability of
+    accepting runs. {!exact_probability} computes it by exhaustive
+    exploration of the run tree (exponential — for the small machines of
+    the test suite); {!estimate_probability} samples runs (Lemma 18:
+    uniformly random choice numbers induce the same distribution).
+
+    Definition 1's [(r,s,t)]-boundedness is checked per run by
+    {!check_bounded}; Lemma 3's run-length bound is {!lemma3_bound}. *)
+
+type prob_stats = {
+  probability : float;
+  runs_explored : int;
+  max_steps : int;  (** longest run seen *)
+}
+
+val exact_probability : ?fuel:int -> Machine.t -> input:string -> prob_stats
+(** Exhaustive weighted exploration. [fuel] (default 100_000) bounds the
+    total number of configurations expanded.
+    @raise Failure if the fuel is exhausted or a run gets stuck (stuck
+    runs have no probability semantics in the paper's model). *)
+
+val estimate_probability :
+  Random.State.t -> ?samples:int -> ?fuel:int -> Machine.t -> input:string -> float
+(** Monte-Carlo estimate over [samples] (default 1000) sampled runs. *)
+
+type bound_report = {
+  scans_used : int;
+  int_space_used : int;
+  within : bool;
+}
+
+val check_bounded :
+  r:(int -> int) -> s:(int -> int) -> Machine.t -> input:string ->
+  choices:(int -> int) -> bound_report
+(** Run [ρ_T(input, c)] and check Definition 1:
+    [1 + Σ rev ≤ r(N)] on external tapes and [Σ space ≤ s(N)] on
+    internal tapes, for [N] the input length. *)
+
+val one_sided_monte_carlo :
+  Random.State.t -> ?samples:int -> Machine.t ->
+  positives:string list -> negatives:string list ->
+  [ `Ok | `False_positive of string | `Low_acceptance of string * float ]
+(** Empirical check of the [(½,0)]-RTM contract (Section 2): no
+    accepting run may exist on a negative instance (checked by
+    sampling), and positives must accept with probability ≥ ½
+    (estimated; flagged below 0.45 to allow sampling noise). *)
+
+val lemma3_bound : n:int -> r:int -> s:int -> t:int -> c:int -> float
+(** The Lemma 3 bound [N · 2^{c·r·(t+s)}] on run length and external
+    space, as a float (it overflows quickly). *)

@@ -1,0 +1,97 @@
+let transitions_of (m : Machine.t) =
+  Hashtbl.fold
+    (fun (q, reads) trs acc ->
+      List.fold_left (fun acc tr -> (q, reads, tr) :: acc) acc trs)
+    m.Machine.delta []
+
+let alphabet_of (m : Machine.t) =
+  let syms = Hashtbl.create 16 in
+  Hashtbl.replace syms m.Machine.blank ();
+  Hashtbl.iter
+    (fun (_, reads) trs ->
+      String.iter (fun ch -> Hashtbl.replace syms ch ()) reads;
+      List.iter
+        (fun (tr : Machine.transition) ->
+          String.iter (fun ch -> Hashtbl.replace syms ch ()) tr.Machine.writes)
+        trs)
+    m.Machine.delta;
+  Hashtbl.fold (fun ch () acc -> ch :: acc) syms []
+
+let is_deterministic (m : Machine.t) =
+  Hashtbl.fold (fun _ trs acc -> acc && List.length trs <= 1) m.Machine.delta true
+
+let complement (m : Machine.t) =
+  if not (is_deterministic m) then
+    invalid_arg "Closure.complement: machine is nondeterministic";
+  Machine.create
+    ~name:(m.Machine.name ^ "~complement")
+    ~state_names:m.Machine.state_names ~start:m.Machine.start
+    ~final:m.Machine.final
+    ~accepting:
+      (Array.mapi
+         (fun q final_acc -> m.Machine.final.(q) && not final_acc)
+         m.Machine.accepting)
+    ~blank:m.Machine.blank ~ext:m.Machine.ext ~int_:m.Machine.int_
+    (transitions_of m)
+
+(* All read tuples over the given alphabet, for a machine with [tapes]
+   tapes. Exponential; used only for the single branching state. *)
+let all_tuples alphabet tapes =
+  let rec go i acc =
+    if i = tapes then acc
+    else
+      go (i + 1)
+        (List.concat_map
+           (fun prefix -> List.map (fun ch -> prefix ^ String.make 1 ch) alphabet)
+           acc)
+  in
+  go 0 [ "" ]
+
+let nondet_union (a : Machine.t) (b : Machine.t) =
+  if a.Machine.ext <> b.Machine.ext || a.Machine.int_ <> b.Machine.int_ then
+    invalid_arg "Closure.nondet_union: tape counts differ";
+  if a.Machine.blank <> b.Machine.blank then
+    invalid_arg "Closure.nondet_union: blanks differ";
+  let tapes = a.Machine.ext + a.Machine.int_ in
+  let na = a.Machine.num_states in
+  let shift_a q = q + 1 in
+  let shift_b q = q + 1 + na in
+  let state_names =
+    Array.concat
+      [
+        [| "branch" |];
+        Array.map (fun s -> "a." ^ s) a.Machine.state_names;
+        Array.map (fun s -> "b." ^ s) b.Machine.state_names;
+      ]
+  in
+  let final =
+    Array.concat [ [| false |]; a.Machine.final; b.Machine.final ]
+  in
+  let accepting =
+    Array.concat [ [| false |]; a.Machine.accepting; b.Machine.accepting ]
+  in
+  let retarget shift (q, reads, (tr : Machine.transition)) =
+    (shift q, reads, { tr with Machine.next_state = shift tr.Machine.next_state })
+  in
+  let alphabet =
+    List.sort_uniq Char.compare (alphabet_of a @ alphabet_of b)
+  in
+  let stay = Array.make tapes Machine.Stay in
+  let branch_transitions =
+    List.concat_map
+      (fun reads ->
+        [
+          (0, reads,
+           { Machine.next_state = shift_a a.Machine.start; writes = reads; moves = stay });
+          (0, reads,
+           { Machine.next_state = shift_b b.Machine.start; writes = reads; moves = stay });
+        ])
+      (all_tuples alphabet tapes)
+  in
+  Machine.create
+    ~name:(Printf.sprintf "(%s|%s)" a.Machine.name b.Machine.name)
+    ~state_names ~start:0 ~final ~accepting ~blank:a.Machine.blank
+    ~ext:a.Machine.ext ~int_:a.Machine.int_
+    (branch_transitions
+    @ List.map (retarget shift_a) (transitions_of a)
+    @ List.map (retarget shift_b) (transitions_of b))

@@ -1,0 +1,26 @@
+(** Closure operations on machines, as used implicitly by the paper.
+
+    The proof of Corollary 9(b) uses that the deterministic ST classes
+    are closed under complement; the proof of Theorem 13 builds a
+    machine running two sub-machines and combining their verdicts.
+    These constructions are mechanical on machine tables; this module
+    makes them executable so the closure claims can be tested.
+
+    All operations preserve the [(r,s,t)] envelope up to the obvious
+    bookkeeping (complement: unchanged; union: the max of the two
+    machines' usage plus one initial branching step). *)
+
+val complement : Machine.t -> Machine.t
+(** Swap accepting and rejecting among the final states. Decides the
+    complement language for {e deterministic} machines all of whose
+    runs terminate in final states (the ST setting); for
+    nondeterministic machines this is {e not} language complement.
+    @raise Invalid_argument if the machine is nondeterministic (some
+    [(state, reads)] has several transitions). *)
+
+val nondet_union : Machine.t -> Machine.t -> Machine.t
+(** A machine accepting iff either argument has an accepting run: a
+    fresh start state branches nondeterministically (one state-only
+    step, nothing moved or written) into either machine.
+    @raise Invalid_argument if the machines disagree on [ext], [int_]
+    or [blank]. *)

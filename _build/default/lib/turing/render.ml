@@ -1,0 +1,54 @@
+let config_to_string (m : Machine.t) (c : Machine.config) =
+  let buf = Buffer.create 256 in
+  let tapes = m.Machine.ext + m.Machine.int_ in
+  for i = 0 to tapes - 1 do
+    let kind = if i < m.Machine.ext then "ext" else "int" in
+    Buffer.add_string buf (Printf.sprintf "tape %d (%s): " (i + 1) kind);
+    let content = Machine.tape_contents m c i in
+    let pos = Machine.head_position c i in
+    let upto = max (String.length content) (pos + 1) in
+    for j = 0 to upto - 1 do
+      let ch = if j < String.length content then content.[j] else m.Machine.blank in
+      if j = pos then Buffer.add_string buf (Printf.sprintf "[%c] " ch)
+      else Buffer.add_string buf (Printf.sprintf "%c " ch)
+    done;
+    if i = 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "  state=%s" m.Machine.state_names.(Machine.config_state c));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let run_to_string ?(max_steps = 30) (m : Machine.t) ~input ~choices =
+  let buf = Buffer.create 1024 in
+  let c = ref (Machine.initial_config m input) in
+  Buffer.add_string buf "initial:\n";
+  Buffer.add_string buf (config_to_string m !c);
+  let steps = ref 0 in
+  let outcome = ref None in
+  while !outcome = None do
+    if Machine.is_final m !c then
+      outcome := Some (if Machine.is_accepting m !c then "ACCEPTS" else "rejects")
+    else begin
+      match Machine.enabled m !c with
+      | [] -> outcome := Some "is stuck"
+      | trs ->
+          let k = List.length trs in
+          let pick = ((choices !steps mod k) + k) mod k in
+          c := Machine.apply m !c (List.nth trs pick);
+          incr steps;
+          if !steps <= max_steps then begin
+            Buffer.add_string buf (Printf.sprintf "\nstep %d:\n" !steps);
+            Buffer.add_string buf (config_to_string m !c)
+          end
+          else if !steps = max_steps + 1 then
+            Buffer.add_string buf "\n... further steps elided ...\n";
+          if !steps > 500_000 then outcome := Some "ran out of fuel"
+    end
+  done;
+  let stats = Machine.run m ~input ~choices in
+  Buffer.add_string buf
+    (Printf.sprintf "\nrun %s after %d steps (scans = %d, internal space = %d)\n"
+       (Option.get !outcome) !steps (Machine.scans stats)
+       (Machine.total_int_space stats));
+  Buffer.contents buf

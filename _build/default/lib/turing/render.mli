@@ -1,0 +1,12 @@
+(** ASCII rendering of Turing machine configurations and runs. *)
+
+val config_to_string : Machine.t -> Machine.config -> string
+(** One line per tape: contents with the head cell bracketed, e.g.
+    {v tape 1 (ext): 0 1 [1] 0 #   state=compare v}
+    External tapes are listed first, then internal ones. *)
+
+val run_to_string :
+  ?max_steps:int -> Machine.t -> input:string -> choices:(int -> int) -> string
+(** Step-by-step run rendering (configurations after each step), elided
+    after [max_steps] (default 30), ending with the outcome and the
+    measured resources. *)

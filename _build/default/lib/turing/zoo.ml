@@ -1,0 +1,138 @@
+open Machine
+
+let pair_equality () =
+  let b = Build.make ~name:"pair-equality" ~ext:2 ~int_:0 ~alphabet:"01#^" () in
+  let init = Build.state b "init" in
+  let copy = Build.state b "copy" in
+  let advance = Build.state b "advance" in
+  let rewind = Build.state b "rewind" in
+  let compare_ = Build.state b "compare" in
+  let step2 = Build.state b "step2" in
+  let acc = Build.state b ~final:true ~accepting:true "accept" in
+  let rej = Build.state b ~final:true "reject" in
+  (* init: plant the start marker on tape 2 *)
+  Build.on' b ~from:init ~reads:"?_" ~to_:copy ~writes:"?^" ~moves:[ Stay; Right ];
+  (* copy v1 to tape 2, one cell per two steps (normalized) *)
+  List.iter
+    (fun c ->
+      let cs = String.make 1 c in
+      Build.on' b ~from:copy ~reads:(cs ^ "_") ~to_:advance ~writes:(cs ^ cs)
+        ~moves:[ Stay; Right ];
+      Build.on' b ~from:advance ~reads:(cs ^ "_") ~to_:copy ~writes:"??"
+        ~moves:[ Right; Stay ])
+    [ '0'; '1' ];
+  (* '#' ends v1: move past it, start rewinding tape 2 *)
+  Build.on' b ~from:copy ~reads:"#_" ~to_:rewind ~writes:"??" ~moves:[ Right; Stay ];
+  (* rewind tape 2 to the marker *)
+  List.iter
+    (fun r ->
+      Build.on' b ~from:rewind ~reads:r ~to_:rewind ~writes:"??" ~moves:[ Stay; Left ])
+    [ "?0"; "?1"; "?_" ];
+  Build.on' b ~from:rewind ~reads:"?^" ~to_:compare_ ~writes:"??" ~moves:[ Stay; Right ];
+  (* compare v2 (tape 1) against the copy (tape 2) *)
+  List.iter
+    (fun c ->
+      let cs = String.make 1 c in
+      Build.on' b ~from:compare_ ~reads:(cs ^ cs) ~to_:step2 ~writes:"??"
+        ~moves:[ Right; Stay ])
+    [ '0'; '1' ];
+  Build.on' b ~from:step2 ~reads:"??" ~to_:compare_ ~writes:"??" ~moves:[ Stay; Right ];
+  Build.on' b ~from:compare_ ~reads:"#_" ~to_:acc ~writes:"??" ~moves:[ Stay; Stay ];
+  List.iter
+    (fun r ->
+      Build.on' b ~from:compare_ ~reads:r ~to_:rej ~writes:"??" ~moves:[ Stay; Stay ])
+    [ "01"; "10"; "0_"; "1_"; "#0"; "#1" ];
+  Build.build b
+
+let coin () =
+  let b = Build.make ~name:"coin" ~ext:1 ~int_:0 ~alphabet:"01#" () in
+  let s0 = Build.state b "toss" in
+  let acc = Build.state b ~final:true ~accepting:true "accept" in
+  let rej = Build.state b ~final:true "reject" in
+  Build.on' b ~from:s0 ~reads:"?" ~to_:acc ~writes:"?" ~moves:[ Stay ];
+  Build.on' b ~from:s0 ~reads:"?" ~to_:rej ~writes:"?" ~moves:[ Stay ];
+  Build.build b
+
+let parity_ones () =
+  (* '#' separators are skipped so the machine also runs on the
+     v1#...#vm# framing the simulation lemma uses *)
+  let b = Build.make ~name:"parity-ones" ~ext:1 ~int_:0 ~alphabet:"01#" () in
+  let even = Build.state b "even" in
+  let odd = Build.state b "odd" in
+  let acc = Build.state b ~final:true ~accepting:true "accept" in
+  let rej = Build.state b ~final:true "reject" in
+  Build.on' b ~from:even ~reads:"0" ~to_:even ~writes:"?" ~moves:[ Right ];
+  Build.on' b ~from:even ~reads:"1" ~to_:odd ~writes:"?" ~moves:[ Right ];
+  Build.on' b ~from:even ~reads:"#" ~to_:even ~writes:"?" ~moves:[ Right ];
+  Build.on' b ~from:odd ~reads:"0" ~to_:odd ~writes:"?" ~moves:[ Right ];
+  Build.on' b ~from:odd ~reads:"1" ~to_:even ~writes:"?" ~moves:[ Right ];
+  Build.on' b ~from:odd ~reads:"#" ~to_:odd ~writes:"?" ~moves:[ Right ];
+  Build.on' b ~from:even ~reads:"_" ~to_:acc ~writes:"?" ~moves:[ Stay ];
+  Build.on' b ~from:odd ~reads:"_" ~to_:rej ~writes:"?" ~moves:[ Stay ];
+  Build.build b
+
+let nondet_find_one () =
+  let b = Build.make ~name:"nondet-find-one" ~ext:1 ~int_:0 ~alphabet:"01#" () in
+  let scan = Build.state b "scan" in
+  let acc = Build.state b ~final:true ~accepting:true "accept" in
+  let rej = Build.state b ~final:true "reject" in
+  Build.on' b ~from:scan ~reads:"0" ~to_:scan ~writes:"?" ~moves:[ Right ];
+  Build.on' b ~from:scan ~reads:"#" ~to_:scan ~writes:"?" ~moves:[ Right ];
+  Build.on' b ~from:scan ~reads:"1" ~to_:acc ~writes:"?" ~moves:[ Stay ];
+  Build.on' b ~from:scan ~reads:"1" ~to_:scan ~writes:"?" ~moves:[ Right ];
+  Build.on' b ~from:scan ~reads:"_" ~to_:rej ~writes:"?" ~moves:[ Stay ];
+  Build.build b
+
+let ones_mod4 () =
+  let b = Build.make ~name:"ones-mod4" ~ext:1 ~int_:1 ~alphabet:"01#^" () in
+  let init = Build.state b "init" in
+  let scan = Build.state b "scan" in
+  let inc = Build.state b "inc" in
+  let rewind = Build.state b "rewind" in
+  let consume = Build.state b "consume" in
+  let chk1 = Build.state b "chk1" in
+  let chk2 = Build.state b "chk2" in
+  let acc = Build.state b ~final:true ~accepting:true "accept" in
+  let rej = Build.state b ~final:true "reject" in
+  (* plant the counter marker; head 2 rests on bit 0 afterwards *)
+  Build.on' b ~from:init ~reads:"?_" ~to_:scan ~writes:"?^" ~moves:[ Stay; Right ];
+  (* scan: invariant - head 2 sits on counter bit 0 *)
+  Build.on' b ~from:scan ~reads:"0?" ~to_:scan ~writes:"??" ~moves:[ Right; Stay ];
+  Build.on' b ~from:scan ~reads:"#?" ~to_:scan ~writes:"??" ~moves:[ Right; Stay ];
+  Build.on' b ~from:scan ~reads:"1?" ~to_:inc ~writes:"??" ~moves:[ Stay; Stay ];
+  (* binary increment with carry propagation *)
+  Build.on' b ~from:inc ~reads:"10" ~to_:rewind ~writes:"11" ~moves:[ Stay; Stay ];
+  Build.on' b ~from:inc ~reads:"1_" ~to_:rewind ~writes:"11" ~moves:[ Stay; Stay ];
+  Build.on' b ~from:inc ~reads:"11" ~to_:inc ~writes:"10" ~moves:[ Stay; Right ];
+  (* return the counter head to bit 0, then consume the input 1 *)
+  List.iter
+    (fun r ->
+      Build.on' b ~from:rewind ~reads:r ~to_:rewind ~writes:"??" ~moves:[ Stay; Left ])
+    [ "10"; "11"; "1_" ];
+  Build.on' b ~from:rewind ~reads:"1^" ~to_:consume ~writes:"??" ~moves:[ Stay; Right ];
+  Build.on' b ~from:consume ~reads:"1?" ~to_:scan ~writes:"??" ~moves:[ Right; Stay ];
+  (* end of input: the two lowest counter bits decide mod 4 *)
+  Build.on' b ~from:scan ~reads:"_?" ~to_:chk1 ~writes:"??" ~moves:[ Stay; Stay ];
+  Build.on' b ~from:chk1 ~reads:"_1" ~to_:rej ~writes:"??" ~moves:[ Stay; Stay ];
+  Build.on' b ~from:chk1 ~reads:"__" ~to_:acc ~writes:"??" ~moves:[ Stay; Stay ];
+  Build.on' b ~from:chk1 ~reads:"_0" ~to_:chk2 ~writes:"??" ~moves:[ Stay; Right ];
+  Build.on' b ~from:chk2 ~reads:"_1" ~to_:rej ~writes:"??" ~moves:[ Stay; Stay ];
+  Build.on' b ~from:chk2 ~reads:"_0" ~to_:acc ~writes:"??" ~moves:[ Stay; Stay ];
+  Build.on' b ~from:chk2 ~reads:"__" ~to_:acc ~writes:"??" ~moves:[ Stay; Stay ];
+  Build.build b
+
+let copy_to_internal () =
+  let b = Build.make ~name:"copy-to-internal" ~ext:1 ~int_:1 ~alphabet:"01" () in
+  let copy = Build.state b "copy" in
+  let advance = Build.state b "advance" in
+  let acc = Build.state b ~final:true ~accepting:true "accept" in
+  List.iter
+    (fun c ->
+      let cs = String.make 1 c in
+      Build.on' b ~from:copy ~reads:(cs ^ "_") ~to_:advance ~writes:(cs ^ cs)
+        ~moves:[ Stay; Right ];
+      Build.on' b ~from:advance ~reads:(cs ^ "_") ~to_:copy ~writes:"??"
+        ~moves:[ Right; Stay ])
+    [ '0'; '1' ];
+  Build.on' b ~from:copy ~reads:"__" ~to_:acc ~writes:"??" ~moves:[ Stay; Stay ];
+  Build.build b

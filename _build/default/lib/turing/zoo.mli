@@ -1,0 +1,39 @@
+(** Concrete Turing machines used by tests, examples, and the
+    simulation-lemma experiments (E7).
+
+    All machines are normalized (at most one head moves per step) so
+    they can be fed to the list-machine simulation directly. *)
+
+val pair_equality : unit -> Machine.t
+(** Input [v1#v2#] over [{0,1,#}]; accepts iff [v1 = v2]. Deterministic,
+    two external tapes, no internal tapes; copies [v1] to tape 2 behind
+    a start marker, rewinds tape 2, then compares. [(3, O(1), 2)]-bounded:
+    tape 1 never reverses, tape 2 reverses twice. *)
+
+val coin : unit -> Machine.t
+(** One nondeterministic step: accepts with probability exactly 1/2 on
+    any input. *)
+
+val parity_ones : unit -> Machine.t
+(** Accepts iff the input contains an even number of [1]s ([#]
+    separators are skipped, so the machine also runs on the
+    [v1#…#vm#] framing of the simulation lemma). Deterministic, one
+    external tape, one scan. *)
+
+val nondet_find_one : unit -> Machine.t
+(** Scans right (skipping [#]); on each ['1'] nondeterministically
+    accepts or continues; rejects at the end. Accepts some run iff the
+    input contains a ['1']; on an input with [k] ones the acceptance
+    probability is [1 − 2^{-k}]. *)
+
+val copy_to_internal : unit -> Machine.t
+(** Copies the [{0,1}]-input onto its internal tape and accepts:
+    exercises internal-space accounting ([space = n + 1] on input
+    length [n]). One external, one internal tape. *)
+
+val ones_mod4 : unit -> Machine.t
+(** Accepts iff the number of [1]s in the input (over [{0,1,#}], [#]
+    skipped) is divisible by 4, by maintaining a binary counter on its
+    internal tape (LSB first behind a [^] marker). One scan of the
+    external tape; internal space [O(log n)] — a machine that genuinely
+    {e uses} sublinear internal memory, unlike the toy copies. *)

@@ -1,0 +1,1 @@
+lib/util/bitstring.ml: Bool Format Printf Random String

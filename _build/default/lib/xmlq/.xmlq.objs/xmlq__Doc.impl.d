@@ -1,0 +1,1 @@
+lib/xmlq/doc.ml: Array Buffer Format List Printf Problems String Util

@@ -1,0 +1,1 @@
+lib/xmlq/doc.mli: Format Problems

@@ -1,0 +1,1 @@
+lib/xmlq/stream_filter.ml: Buffer Extsort List String Tape

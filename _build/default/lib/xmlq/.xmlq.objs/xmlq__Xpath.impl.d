@@ -1,0 +1,1 @@
+lib/xmlq/xpath.ml: Array Doc Format Int List String

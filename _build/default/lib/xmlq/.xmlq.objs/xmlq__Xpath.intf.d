@@ -1,0 +1,1 @@
+lib/xmlq/xpath.mli: Doc Format

@@ -1,0 +1,1 @@
+lib/xmlq/xquery.ml: Doc List Printf String Xpath

@@ -1,0 +1,1 @@
+lib/xmlq/xquery.mli: Doc Xpath

@@ -1,0 +1,160 @@
+type axis = Self | Child | Descendant | Descendant_or_self | Parent | Ancestor
+
+type step = { axis : axis; test : string option; preds : pred list }
+
+and pred =
+  | Exists of path
+  | Not of pred
+  | Value_eq of path * path
+  | And of pred * pred
+  | Or of pred * pred
+
+and path = step list
+
+let step ?(preds = []) axis name =
+  { axis; test = (if String.equal name "*" then None else Some name); preds }
+
+let figure1 =
+  let set2_strings =
+    [
+      step Ancestor "instance";
+      step Child "set2";
+      step Child "item";
+      step Child "string";
+    ]
+  in
+  [
+    step Descendant "set1";
+    step Child "item"
+      ~preds:[ Not (Value_eq ([ step Child "string" ], set2_strings)) ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Indexed document view: nodes in document order with parent links.
+   Index -1 denotes the document node above the root element. *)
+
+type ctx = {
+  nodes : Doc.t array;
+  parent : int array;
+  first_child : int list array;  (* children indices, in order *)
+}
+
+let index doc =
+  let rec count = function
+    | Doc.Text _ -> 1
+    | Doc.Element (_, kids) -> List.fold_left (fun acc k -> acc + count k) 1 kids
+  in
+  let n = count doc in
+  let nodes = Array.make n (Doc.Text "") in
+  let parent = Array.make n (-1) in
+  let first_child = Array.make n [] in
+  let counter = ref 0 in
+  let rec go par node =
+    let id = !counter in
+    incr counter;
+    nodes.(id) <- node;
+    parent.(id) <- par;
+    (match node with
+    | Doc.Element (_, kids) -> first_child.(id) <- List.map (go id) kids
+    | Doc.Text _ -> ());
+    id
+  in
+  ignore (go (-1) doc);
+  { nodes; parent; first_child }
+
+let is_element ctx id =
+  id >= 0 && match ctx.nodes.(id) with Doc.Element _ -> true | Doc.Text _ -> false
+
+let name_matches ctx id = function
+  | None -> is_element ctx id
+  | Some name -> (
+      id >= 0
+      &&
+      match ctx.nodes.(id) with
+      | Doc.Element (n, _) -> String.equal n name
+      | Doc.Text _ -> false)
+
+let children_of ctx id = if id = -1 then [ 0 ] else ctx.first_child.(id)
+
+let rec descendants_of ctx id =
+  let kids = children_of ctx id in
+  List.concat_map (fun k -> k :: descendants_of ctx k) kids
+
+let ancestors_of ctx id =
+  let rec go acc i =
+    if i = -1 then List.rev acc
+    else begin
+      let p = ctx.parent.(i) in
+      if p = -1 then List.rev acc else go (p :: acc) p
+    end
+  in
+  go [] id
+
+let axis_nodes ctx id = function
+  | Self -> [ id ]
+  | Child -> children_of ctx id
+  | Descendant -> descendants_of ctx id
+  | Descendant_or_self -> id :: descendants_of ctx id
+  | Parent -> if id = -1 || ctx.parent.(id) = -1 then [] else [ ctx.parent.(id) ]
+  | Ancestor -> ancestors_of ctx id
+
+let rec eval_path ctx froms path =
+  match path with
+  | [] -> froms
+  | s :: rest ->
+      let next =
+        List.concat_map
+          (fun id ->
+            axis_nodes ctx id s.axis
+            |> List.filter (fun n -> name_matches ctx n s.test)
+            |> List.filter (fun n ->
+                   List.for_all (fun p -> eval_pred ctx n p) s.preds))
+          froms
+      in
+      eval_path ctx (List.sort_uniq Int.compare next) rest
+
+and eval_pred ctx id = function
+  | Exists p -> eval_path ctx [ id ] p <> []
+  | Not p -> not (eval_pred ctx id p)
+  | And (p, q) -> eval_pred ctx id p && eval_pred ctx id q
+  | Or (p, q) -> eval_pred ctx id p || eval_pred ctx id q
+  | Value_eq (p1, p2) ->
+      let values p =
+        eval_path ctx [ id ] p
+        |> List.map (fun n -> Doc.string_value ctx.nodes.(n))
+      in
+      let v2 = values p2 in
+      List.exists (fun v -> List.mem v v2) (values p1)
+
+let select doc path =
+  let ctx = index doc in
+  eval_path ctx [ -1 ] path |> List.map (fun id -> ctx.nodes.(id))
+
+let select_values doc path = List.map Doc.string_value (select doc path)
+
+let matches doc path = select doc path <> []
+
+let axis_name = function
+  | Self -> "self"
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+
+let rec pp_path ppf path =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "/")
+    pp_step ppf path
+
+and pp_step ppf s =
+  Format.fprintf ppf "%s::%s" (axis_name s.axis)
+    (match s.test with None -> "*" | Some n -> n);
+  List.iter (fun p -> Format.fprintf ppf "[%a]" pp_pred p) s.preds
+
+and pp_pred ppf = function
+  | Exists p -> pp_path ppf p
+  | Not p -> Format.fprintf ppf "not(%a)" pp_pred p
+  | And (p, q) -> Format.fprintf ppf "%a and %a" pp_pred p pp_pred q
+  | Or (p, q) -> Format.fprintf ppf "%a or %a" pp_pred p pp_pred q
+  | Value_eq (a, b) -> Format.fprintf ppf "%a = %a" pp_path a pp_path b

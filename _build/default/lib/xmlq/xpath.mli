@@ -1,0 +1,45 @@
+(** An XPath engine covering the fragment the paper uses (Theorem 13,
+    Figure 1): the [child], [descendant], [ancestor], [parent] and
+    [self] axes, element name tests, and predicates built from path
+    existence, negation, conjunction/disjunction, and the {e existential}
+    general comparison [path1 = path2] (true iff some selected node of
+    the first path has the same string-value as some node of the
+    second — the W3C semantics the paper leans on). *)
+
+type axis = Self | Child | Descendant | Descendant_or_self | Parent | Ancestor
+
+type step = {
+  axis : axis;
+  test : string option;  (** element name; [None] matches any element *)
+  preds : pred list;
+}
+
+and pred =
+  | Exists of path
+  | Not of pred
+  | Value_eq of path * path
+  | And of pred * pred
+  | Or of pred * pred
+
+and path = step list
+(** Steps are applied left to right, starting (for this module's entry
+    points) at the document node above the root element. *)
+
+val step : ?preds:pred list -> axis -> string -> step
+(** [step axis name]; [name = "*"] becomes a [None] test. *)
+
+val figure1 : path
+(** The Figure 1 query:
+    [descendant::set1/child::item\[not(child::string =
+    ancestor::instance/child::set2/child::item/child::string)\]]. *)
+
+val select : Doc.t -> path -> Doc.t list
+(** The selected nodes (as subtrees), in document order. *)
+
+val select_values : Doc.t -> path -> string list
+(** String-values of the selected nodes, in document order. *)
+
+val matches : Doc.t -> path -> bool
+(** Filtering semantics (Theorem 13): at least one node selected. *)
+
+val pp_path : Format.formatter -> path -> unit

@@ -1,0 +1,53 @@
+type cond =
+  | Every of string * Xpath.path * cond
+  | Some_ of string * Xpath.path * cond
+  | Var_eq of string * string
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+type query = { wrapper : string; witness : string; cond : cond }
+
+let instance_strings set =
+  [
+    Xpath.step Xpath.Child "instance";
+    Xpath.step Xpath.Child set;
+    Xpath.step Xpath.Child "item";
+    Xpath.step Xpath.Child "string";
+  ]
+
+let theorem12_query =
+  let one_direction outer inner vx vy =
+    Every (vx, instance_strings outer, Some_ (vy, instance_strings inner, Var_eq (vx, vy)))
+  in
+  {
+    wrapper = "result";
+    witness = "true";
+    cond =
+      And (one_direction "set1" "set2" "x" "y", one_direction "set2" "set1" "y2" "x2");
+  }
+
+let rec eval_cond doc env = function
+  | Every (v, path, body) ->
+      List.for_all
+        (fun value -> eval_cond doc ((v, value) :: env) body)
+        (Xpath.select_values doc path)
+  | Some_ (v, path, body) ->
+      List.exists
+        (fun value -> eval_cond doc ((v, value) :: env) body)
+        (Xpath.select_values doc path)
+  | Var_eq (a, b) ->
+      let get v =
+        match List.assoc_opt v env with
+        | Some value -> value
+        | None -> invalid_arg (Printf.sprintf "Xquery: unbound variable $%s" v)
+      in
+      String.equal (get a) (get b)
+  | And (p, q) -> eval_cond doc env p && eval_cond doc env q
+  | Or (p, q) -> eval_cond doc env p || eval_cond doc env q
+  | Not p -> not (eval_cond doc env p)
+
+let holds q doc = eval_cond doc [] q.cond
+
+let eval q doc =
+  Doc.element q.wrapper (if holds q doc then [ Doc.element q.witness [] ] else [])

@@ -1,0 +1,35 @@
+(** An XQuery-lite evaluator for the Theorem 12 query.
+
+    The fragment covers quantified conditions over path-selected node
+    sequences ([every]/[some] … [satisfies]), general comparisons
+    between bound variables, boolean connectives, and element
+    construction with a conditional body — exactly what the paper's
+    set-equality query uses. *)
+
+type cond =
+  | Every of string * Xpath.path * cond
+      (** [every $v in path satisfies cond] (path from the document node) *)
+  | Some_ of string * Xpath.path * cond
+  | Var_eq of string * string  (** [$x = $y] on string-values *)
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+type query = {
+  wrapper : string;  (** constructed element, [<result>] in the paper *)
+  witness : string;  (** child emitted when the condition holds, [<true/>] *)
+  cond : cond;
+}
+
+val theorem12_query : query
+(** The paper's query: every [set1] string has an equal [set2] string
+    and vice versa, wrapped as
+    [<result>if (…) then <true/> else ()</result>]. *)
+
+val eval : query -> Doc.t -> Doc.t
+(** Evaluate against a document; returns [<wrapper><witness/></wrapper>]
+    or the empty [<wrapper></wrapper>].
+    @raise Invalid_argument on an unbound variable in the condition. *)
+
+val holds : query -> Doc.t -> bool
+(** Whether the condition holds (the result contains the witness). *)

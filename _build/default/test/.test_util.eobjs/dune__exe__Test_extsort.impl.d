@@ -1,0 +1,1 @@
+test/test_extsort.ml: Alcotest Array Extsort Gen List Printf Problems QCheck QCheck_alcotest Random String Tape Util

@@ -1,0 +1,1 @@
+test/test_fingerprint.ml: Alcotest Array Fingerprint List Numtheory Printf Problems Random

@@ -1,0 +1,1 @@
+test/test_listmachine.ml: Alcotest Array Fun Int List Listmachine Printf Problems QCheck QCheck_alcotest Random Stcore String Util

@@ -1,0 +1,1 @@
+test/test_nst.ml: Alcotest List Nst Printf Problems Random

@@ -1,0 +1,1 @@
+test/test_numtheory.ml: Alcotest Hashtbl List Numtheory Printf QCheck QCheck_alcotest Random Util

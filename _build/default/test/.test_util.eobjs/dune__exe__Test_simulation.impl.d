@@ -1,0 +1,1 @@
+test/test_simulation.ml: Alcotest Array Int List Listmachine Random Simulation Turing

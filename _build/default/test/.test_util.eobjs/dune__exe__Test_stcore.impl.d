@@ -1,0 +1,1 @@
+test/test_stcore.ml: Alcotest Array List Listmachine Printf Problems Random Stcore Util

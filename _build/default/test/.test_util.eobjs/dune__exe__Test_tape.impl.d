@@ -1,0 +1,1 @@
+test/test_tape.ml: Alcotest Char Gen List QCheck QCheck_alcotest Tape

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Int List Printf QCheck QCheck_alcotest Random String Util

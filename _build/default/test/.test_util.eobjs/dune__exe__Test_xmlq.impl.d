@@ -1,0 +1,1 @@
+test/test_xmlq.ml: Alcotest Array Format List Printf Problems QCheck QCheck_alcotest Random String Util Xmlq

@@ -1,0 +1,196 @@
+(* Tests for tape merge sort and the Corollary 7 deterministic
+   algorithms: correctness against the reference deciders, O(log N)
+   scan growth, O(1) internal registers. *)
+
+module G = Problems.Generators
+module D = Problems.Decide
+module I = Problems.Instance
+
+let check = Alcotest.(check bool)
+
+
+let test_sort_basic () =
+  let sorted, _ = Extsort.sort [ "10"; "01"; "11"; "00" ] in
+  Alcotest.(check (list string)) "sorted" [ "00"; "01"; "10"; "11" ] sorted;
+  let sorted1, _ = Extsort.sort [ "x" ] in
+  Alcotest.(check (list string)) "singleton" [ "x" ] sorted1;
+  let sorted0, _ = Extsort.sort [] in
+  Alcotest.(check (list string)) "empty" [] sorted0
+
+let test_sort_duplicates_and_lengths () =
+  let sorted, _ = Extsort.sort [ "01"; "0"; "01"; ""; "1" ] in
+  Alcotest.(check (list string)) "mixed" [ ""; "0"; "01"; "01"; "1" ] sorted
+
+let prop_sort_matches_stdlib =
+  QCheck.Test.make ~name:"tape sort = List.sort" ~count:200
+    QCheck.(list (string_of_size (Gen.int_range 0 6)))
+    (fun items ->
+      let expected = List.sort String.compare items in
+      let got, _ = Extsort.sort items in
+      got = expected)
+
+let test_sort_registers_constant () =
+  List.iter
+    (fun n ->
+      let items = List.init n (fun i -> string_of_int ((i * 31) mod n)) in
+      let _, rep = Extsort.sort items in
+      check (Printf.sprintf "n=%d regs" n) true (rep.Extsort.register_peak <= 8))
+    [ 2; 64; 1024 ]
+
+let test_scan_growth_logarithmic () =
+  let st = Random.State.make [| 40 |] in
+  let points =
+    List.map
+      (fun m ->
+        let inst = G.yes_instance st D.Check_sort ~m ~n:8 in
+        let _, rep = Extsort.check_sort inst in
+        check "within closed-form bound" true
+          (rep.Extsort.scans <= Extsort.theoretical_scan_bound ~n:rep.Extsort.n);
+        (rep.Extsort.n, rep.Extsort.scans))
+      [ 16; 32; 64; 128; 256; 512; 1024 ]
+  in
+  let slope, _, r2 = Util.Stats.log2_fit (Array.of_list points) in
+  check (Printf.sprintf "log fit r2=%.3f" r2) true (r2 > 0.98);
+  check (Printf.sprintf "slope=%.2f" slope) true (slope > 2.0 && slope < 16.0)
+
+let test_deciders_match_reference () =
+  let st = Random.State.make [| 41 |] in
+  List.iter
+    (fun prob ->
+      for _ = 1 to 60 do
+        let m = 1 + Random.State.int st 24 in
+        let inst, label = G.labelled st prob ~m ~n:6 in
+        let got, _ = Extsort.decide prob inst in
+        check (D.problem_name prob) true (got = label)
+      done)
+    D.all_problems
+
+let test_set_equality_multiplicities () =
+  (* equal as sets, different multiplicities *)
+  let st = Random.State.make [| 42 |] in
+  for _ = 1 to 20 do
+    let inst = G.set_yes_multiset_no st ~m:6 ~n:6 in
+    check "set-eq yes" true (fst (Extsort.set_equality inst));
+    check "multiset-eq no" false (fst (Extsort.multiset_equality inst))
+  done
+
+let test_degenerate_instances () =
+  let empty = I.decode "" in
+  check "empty checksort" true (fst (Extsort.check_sort empty));
+  check "empty set-eq" true (fst (Extsort.set_equality empty));
+  let single = I.decode "0#0#" in
+  check "singleton" true (fst (Extsort.multiset_equality single));
+  let single_no = I.decode "0#1#" in
+  check "singleton no" false (fst (Extsort.multiset_equality single_no))
+
+let test_short_instances_round_trip () =
+  (* Corollary 7: the SHORT reduction output is still decided correctly *)
+  let st = Random.State.make [| 43 |] in
+  let m = 4 in
+  let space = G.Checkphi.default_space ~m ~n:(m * m * m) in
+  let phi = G.Checkphi.phi space in
+  for _ = 1 to 5 do
+    let y = G.Checkphi.yes st space and n = G.Checkphi.no st space in
+    check "short yes" true (fst (Extsort.check_sort (Problems.Short.reduce ~phi y)));
+    check "short no" false (fst (Extsort.check_sort (Problems.Short.reduce ~phi n)))
+  done
+
+let test_kway_sort () =
+  let items = List.init 500 (fun i -> Printf.sprintf "%04d" ((i * 37) mod 500)) in
+  let expected = List.sort String.compare items in
+  List.iter
+    (fun ways ->
+      let got, rep = Extsort.sort_k ~ways items in
+      check (Printf.sprintf "%d-way sorted" ways) true (got = expected);
+      check "tapes = ways + data" true (rep.Extsort.tapes = ways + 1))
+    [ 2; 3; 4; 7 ];
+  (* wider merges use fewer scans at this size *)
+  let _, r2 = Extsort.sort_k ~ways:2 items in
+  let _, r4 = Extsort.sort_k ~ways:4 items in
+  check "4-way beats 2-way" true (r4.Extsort.scans < r2.Extsort.scans);
+  try
+    ignore (Extsort.sort_k ~ways:1 items);
+    Alcotest.fail "ways=1 accepted"
+  with Invalid_argument _ -> ()
+
+let prop_kway_matches_stdlib =
+  QCheck.Test.make ~name:"k-way sort = List.sort" ~count:100
+    QCheck.(pair (int_range 2 6) (list (string_of_size (Gen.int_range 0 5))))
+    (fun (ways, items) ->
+      let expected = List.sort String.compare items in
+      let got, _ = Extsort.sort_k ~ways items in
+      got = expected)
+
+let test_budget_enforcement () =
+  let st = Random.State.make [| 47 |] in
+  let inst = G.yes_instance st D.Check_sort ~m:64 ~n:8 in
+  (* generous budget: fine *)
+  let _, rep =
+    Extsort.check_sort
+      ~budget:{ Tape.Group.max_scans = Some 1000; max_internal = Some 100 }
+      inst
+  in
+  check "runs under a generous budget" true (rep.Extsort.scans <= 1000);
+  (* a budget below the measured need: the run is stopped mid-flight *)
+  check "tight scan budget enforced" true
+    (try
+       ignore
+         (Extsort.check_sort
+            ~budget:
+              { Tape.Group.max_scans = Some (rep.Extsort.scans - 1); max_internal = None }
+            inst);
+       false
+     with Tape.Budget_exceeded _ -> true);
+  check "tight internal budget enforced" true
+    (try
+       ignore
+         (Extsort.check_sort
+            ~budget:{ Tape.Group.max_scans = None; max_internal = Some 1 }
+            inst);
+       false
+     with Tape.Budget_exceeded _ -> true)
+
+let test_disjoint_decider () =
+  let st = Random.State.make [| 46 |] in
+  for _ = 1 to 40 do
+    let inst, label = Problems.Disjoint.labelled st ~m:8 ~n:8 in
+    let got, rep = Extsort.disjoint inst in
+    check "matches reference" true (got = label);
+    check "log scans" true
+      (rep.Extsort.scans <= Extsort.theoretical_scan_bound ~n:rep.Extsort.n)
+  done;
+  check "empty disjoint" true (fst (Extsort.disjoint (I.decode "")))
+
+let prop_sorting_solves_checksort =
+  (* Corollary 10 direction: CHECK-SORT via sorting: sorted(xs) = ys *)
+  QCheck.Test.make ~name:"sort-based check_sort = reference" ~count:150
+    QCheck.(pair (int_range 1 10) (int_bound 100000))
+    (fun (m, seed) ->
+      let st = Random.State.make [| seed |] in
+      let inst, _ = G.labelled st D.Check_sort ~m ~n:5 in
+      fst (Extsort.check_sort inst) = D.check_sort inst)
+
+let () =
+  Alcotest.run "extsort"
+    [
+      ( "sort",
+        [
+          Alcotest.test_case "basic" `Quick test_sort_basic;
+          Alcotest.test_case "duplicates/lengths" `Quick test_sort_duplicates_and_lengths;
+          QCheck_alcotest.to_alcotest prop_sort_matches_stdlib;
+          Alcotest.test_case "O(1) registers" `Quick test_sort_registers_constant;
+          Alcotest.test_case "O(log N) scans" `Quick test_scan_growth_logarithmic;
+          Alcotest.test_case "k-way merge" `Quick test_kway_sort;
+          QCheck_alcotest.to_alcotest prop_kway_matches_stdlib;
+        ] );
+      ( "corollary 7 deciders",
+        [
+          Alcotest.test_case "match reference" `Quick test_deciders_match_reference;
+          Alcotest.test_case "set vs multiset" `Quick test_set_equality_multiplicities;
+          Alcotest.test_case "degenerate" `Quick test_degenerate_instances;
+          Alcotest.test_case "SHORT instances" `Quick test_short_instances_round_trip;
+          Alcotest.test_case "disjoint sets" `Quick test_disjoint_decider;
+          Alcotest.test_case "budget enforcement" `Quick test_budget_enforcement;
+          QCheck_alcotest.to_alcotest prop_sorting_solves_checksort;
+        ] );
+    ]

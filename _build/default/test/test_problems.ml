@@ -1,0 +1,325 @@
+(* Tests for the problems library: instance encoding, reference
+   deciders, intervals, generators, the CHECK-phi space, and the SHORT
+   reduction of Corollary 7. *)
+
+module B = Util.Bitstring
+module P = Util.Permutation
+module I = Problems.Instance
+module D = Problems.Decide
+module G = Problems.Generators
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let bs = B.of_string
+
+let inst xs ys = I.make (Array.of_list (List.map bs xs)) (Array.of_list (List.map bs ys))
+
+(* ------------------------------------------------------------------ *)
+(* Instance *)
+
+let test_encode () =
+  let i = inst [ "01"; "10" ] [ "10"; "01" ] in
+  check_str "encoding" "01#10#10#01#" (I.encode i);
+  check_int "size" 12 (I.size i);
+  check_int "m" 2 (I.m i);
+  check_str "N matches length" (I.encode i)
+    (I.encode (I.decode (I.encode i)))
+
+let test_decode_roundtrip () =
+  let st = Random.State.make [| 8 |] in
+  for _ = 1 to 50 do
+    let i = G.yes_instance st D.Multiset_equality ~m:5 ~n:7 in
+    check "roundtrip" true (I.equal (I.decode (I.encode i)) i)
+  done
+
+let test_decode_errors () =
+  List.iter
+    (fun w ->
+      try
+        ignore (I.decode w);
+        Alcotest.fail (Printf.sprintf "accepted %S" w)
+      with Invalid_argument _ -> ())
+    [ "01"; "01#10"; "01#2#"; "0#" ]
+
+let test_empty_instance () =
+  let e = I.decode "" in
+  check_int "m" 0 (I.m e);
+  check_int "size" 0 (I.size e);
+  check "set-eq" true (D.set_equality e);
+  check "checksort" true (D.check_sort e)
+
+let test_uniform_length () =
+  check "uniform" true (I.uniform_length (inst [ "01"; "11" ] [ "00"; "10" ]) = Some 2);
+  check "ragged" true (I.uniform_length (inst [ "01"; "1" ] [ "00"; "10" ]) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Deciders *)
+
+let test_multiset_vs_set () =
+  let i = inst [ "00"; "00"; "01" ] [ "01"; "01"; "00" ] in
+  check "sets equal" true (D.set_equality i);
+  check "multisets differ" false (D.multiset_equality i)
+
+let test_check_sort () =
+  check "sorted" true (D.check_sort (inst [ "10"; "01" ] [ "01"; "10" ]));
+  check "not sorted" false (D.check_sort (inst [ "10"; "01" ] [ "10"; "01" ]));
+  check "wrong multiset" false (D.check_sort (inst [ "10"; "01" ] [ "01"; "11" ]));
+  check "duplicates sorted" true
+    (D.check_sort (inst [ "11"; "00"; "11" ] [ "00"; "11"; "11" ]))
+
+let test_check_phi () =
+  let phi = P.of_array [| 2; 1 |] in
+  (* need v_1 = v'_2 and v_2 = v'_1 *)
+  check "yes" true (D.check_phi ~phi (inst [ "01"; "10" ] [ "10"; "01" ]));
+  check "no" false (D.check_phi ~phi (inst [ "01"; "10" ] [ "01"; "10" ]))
+
+let prop_checksort_iff_sorted_multiset =
+  QCheck.Test.make ~name:"check_sort = multiset_eq && sorted" ~count:200
+    QCheck.(pair (int_range 1 8) (int_bound 1000))
+    (fun (m, seed) ->
+      let st = Random.State.make [| seed |] in
+      let i, _ = G.labelled st D.Check_sort ~m ~n:4 in
+      let ys = I.ys i in
+      let sorted = ref true in
+      for k = 0 to Array.length ys - 2 do
+        if B.compare ys.(k) ys.(k + 1) > 0 then sorted := false
+      done;
+      D.check_sort i = (D.multiset_equality i && !sorted))
+
+(* ------------------------------------------------------------------ *)
+(* Intervals *)
+
+let test_intervals () =
+  let p = Problems.Intervals.make ~m:4 ~n:6 in
+  check_int "log2m" 2 (Problems.Intervals.log2m p);
+  check_int "index of min" 1 (Problems.Intervals.index_of p (bs "000000"));
+  check_int "index of max" 4 (Problems.Intervals.index_of p (bs "111111"));
+  check_int "interval 3" 3 (Problems.Intervals.index_of p (bs "100001"));
+  check "membership" true (Problems.Intervals.mem p 2 (bs "010101"));
+  check_str "min elt" "010000" (B.to_string (Problems.Intervals.min_element p 2))
+
+let test_intervals_m1 () =
+  let p = Problems.Intervals.make ~m:1 ~n:3 in
+  check_int "everything in I_1" 1 (Problems.Intervals.index_of p (bs "101"))
+
+let prop_random_element_in_interval =
+  QCheck.Test.make ~name:"random_element lands in its interval" ~count:300
+    QCheck.(pair (int_range 0 4) (int_bound 10000))
+    (fun (lg, seed) ->
+      let m = 1 lsl lg in
+      let st = Random.State.make [| seed |] in
+      let p = Problems.Intervals.make ~m ~n:(lg + 4) in
+      let j = 1 + Random.State.int st m in
+      Problems.Intervals.index_of p (Problems.Intervals.random_element st p j) = j)
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let test_generators_labelled () =
+  let st = Random.State.make [| 9 |] in
+  List.iter
+    (fun prob ->
+      for _ = 1 to 40 do
+        let i, label = G.labelled st prob ~m:6 ~n:8 in
+        check "label correct" true (D.decide prob i = label)
+      done)
+    D.all_problems
+
+let test_set_yes_multiset_no () =
+  let st = Random.State.make [| 10 |] in
+  for _ = 1 to 20 do
+    let i = G.set_yes_multiset_no st ~m:5 ~n:6 in
+    check "set yes" true (D.set_equality i);
+    check "multiset no" false (D.multiset_equality i)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* CHECK-phi space *)
+
+let space8 = G.Checkphi.default_space ~m:8 ~n:12
+
+let test_checkphi_yes_no () =
+  let st = Random.State.make [| 11 |] in
+  for _ = 1 to 30 do
+    let y = G.Checkphi.yes st space8 in
+    check "member" true (G.Checkphi.member space8 y);
+    check "yes" true (G.Checkphi.is_yes space8 y);
+    let n = G.Checkphi.no st space8 in
+    check "member no" true (G.Checkphi.member space8 n);
+    check "no" false (G.Checkphi.is_yes space8 n)
+  done
+
+let test_checkphi_coincides_with_problems () =
+  (* On the hard instance space, CHECK-phi, SET-EQUALITY,
+     MULTISET-EQUALITY and CHECK-SORT all coincide (proof of Thm 6). *)
+  let st = Random.State.make [| 12 |] in
+  for _ = 1 to 30 do
+    let y = G.Checkphi.yes st space8 and n = G.Checkphi.no st space8 in
+    List.iter
+      (fun i ->
+        let expected = G.Checkphi.is_yes space8 i in
+        check "set-eq coincides" true (D.set_equality i = expected);
+        check "multiset-eq coincides" true (D.multiset_equality i = expected);
+        check "checksort coincides" true (D.check_sort i = expected))
+      [ y; n ]
+  done
+
+let test_checkphi_member_rejects () =
+  let st = Random.State.make [| 13 |] in
+  let y = G.Checkphi.yes st space8 in
+  (* wrong m *)
+  let small = inst [ "000000000000" ] [ "000000000000" ] in
+  check "wrong m" false (G.Checkphi.member space8 small);
+  (* move an x value into the wrong interval *)
+  let xs = I.xs y in
+  xs.(0) <- bs "111111111111";
+  let moved = I.make xs (I.ys y) in
+  check "wrong interval" true
+    (not (G.Checkphi.member space8 moved)
+    || Problems.Intervals.index_of (G.Checkphi.intervals space8) xs.(0)
+       = P.apply (G.Checkphi.phi space8) 1)
+
+(* ------------------------------------------------------------------ *)
+(* SHORT reduction (Corollary 7, Appendix E) *)
+
+let test_short_reduce_preserves () =
+  let st = Random.State.make [| 14 |] in
+  let m = 8 in
+  let space = G.Checkphi.default_space ~m ~n:(m * m * m) in
+  let phi = G.Checkphi.phi space in
+  for _ = 1 to 5 do
+    let y = G.Checkphi.yes st space in
+    let fy = Problems.Short.reduce ~phi y in
+    check "yes preserved (multiset)" true (D.multiset_equality fy);
+    check "yes preserved (set)" true (D.set_equality fy);
+    check "yes preserved (checksort)" true (D.check_sort fy);
+    let n = G.Checkphi.no st space in
+    let fn = Problems.Short.reduce ~phi n in
+    check "no preserved (multiset)" false (D.multiset_equality fn);
+    check "no preserved (set)" false (D.set_equality fn);
+    check "no preserved (checksort)" false (D.check_sort fn)
+  done
+
+let test_short_is_short () =
+  let st = Random.State.make [| 15 |] in
+  let m = 8 in
+  let space = G.Checkphi.default_space ~m ~n:(m * m * m) in
+  let phi = G.Checkphi.phi space in
+  let y = G.Checkphi.yes st space in
+  let fy = Problems.Short.reduce ~phi y in
+  check "strings short" true (Problems.Short.is_short ~c:2 fy);
+  check_int "block length" (5 * 3) (Problems.Short.block_length ~m);
+  check_int "blocks" ((m * m * m + 2) / 3) (Problems.Short.blocks_per_string ~m ~n:(m * m * m));
+  check_int "m'" (I.m fy) (Problems.Short.blocks_per_string ~m ~n:(m * m * m) * m)
+
+let test_short_size_linear () =
+  (* |f(v)| = Theta(|v|) (property (1) in Appendix E) *)
+  let st = Random.State.make [| 16 |] in
+  List.iter
+    (fun m ->
+      let space = G.Checkphi.default_space ~m ~n:(m * m * m) in
+      let phi = G.Checkphi.phi space in
+      let y = G.Checkphi.yes st space in
+      let fy = Problems.Short.reduce ~phi y in
+      let ratio = float_of_int (I.size fy) /. float_of_int (I.size y) in
+      check (Printf.sprintf "m=%d ratio %.2f" m ratio) true (ratio < 6.0 && ratio > 0.9))
+    [ 4; 8; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* DISJOINT-SETS (Section 9 open problem) *)
+
+let test_disjoint_decider () =
+  check "disjoint" true (D.set_equality (inst [] []) |> fun _ ->
+    Problems.Disjoint.decide (inst [ "00"; "01" ] [ "10"; "11" ]));
+  check "shared" false (Problems.Disjoint.decide (inst [ "00"; "01" ] [ "01"; "11" ]));
+  check "empty" true (Problems.Disjoint.decide (I.decode ""))
+
+let test_disjoint_generators () =
+  let st = Random.State.make [| 44 |] in
+  for _ = 1 to 40 do
+    let y = Problems.Disjoint.yes_instance st ~m:6 ~n:8 in
+    check "yes disjoint" true (Problems.Disjoint.decide y);
+    let n = Problems.Disjoint.no_instance st ~m:6 ~n:8 in
+    check "no intersects" false (Problems.Disjoint.decide n);
+    let i, label = Problems.Disjoint.labelled st ~m:6 ~n:8 in
+    check "labelled" true (Problems.Disjoint.decide i = label)
+  done
+
+let test_disjoint_composition_dichotomy () =
+  let st = Random.State.make [| 45 |] in
+  let m = 8 in
+  let space = G.Checkphi.default_space ~m ~n:(2 * m) in
+  let cp =
+    Problems.Disjoint.composition_preserves_yes st ~problem:(`Checkphi space) ~m
+      ~n:(2 * m) ~trials:50
+  in
+  check_int "check-phi crossings all break" 0 cp;
+  let dj =
+    Problems.Disjoint.composition_preserves_yes st ~problem:`Disjoint ~m
+      ~n:(2 * m) ~trials:50
+  in
+  check_int "disjoint crossings all preserved" 50 dj
+
+let test_compose_halves () =
+  let v = inst [ "00" ] [ "01" ] and w = inst [ "11" ] [ "10" ] in
+  let u = Problems.Disjoint.compose_halves v w in
+  check_str "x from v" "00" (Util.Bitstring.to_string (I.x u 1));
+  check_str "y from w" "10" (Util.Bitstring.to_string (I.y u 1));
+  try
+    ignore (Problems.Disjoint.compose_halves v (inst [ "0"; "1" ] [ "0"; "1" ]));
+    Alcotest.fail "m mismatch accepted"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "problems"
+    [
+      ( "instance",
+        [
+          Alcotest.test_case "encode" `Quick test_encode;
+          Alcotest.test_case "decode roundtrip" `Quick test_decode_roundtrip;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "empty" `Quick test_empty_instance;
+          Alcotest.test_case "uniform length" `Quick test_uniform_length;
+        ] );
+      ( "deciders",
+        [
+          Alcotest.test_case "multiset vs set" `Quick test_multiset_vs_set;
+          Alcotest.test_case "check-sort" `Quick test_check_sort;
+          Alcotest.test_case "check-phi" `Quick test_check_phi;
+          QCheck_alcotest.to_alcotest prop_checksort_iff_sorted_multiset;
+        ] );
+      ( "intervals",
+        [
+          Alcotest.test_case "partition" `Quick test_intervals;
+          Alcotest.test_case "m=1" `Quick test_intervals_m1;
+          QCheck_alcotest.to_alcotest prop_random_element_in_interval;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "labelled" `Quick test_generators_labelled;
+          Alcotest.test_case "set-yes multiset-no" `Quick test_set_yes_multiset_no;
+        ] );
+      ( "check-phi space",
+        [
+          Alcotest.test_case "yes/no" `Quick test_checkphi_yes_no;
+          Alcotest.test_case "problems coincide on the space" `Quick
+            test_checkphi_coincides_with_problems;
+          Alcotest.test_case "membership" `Quick test_checkphi_member_rejects;
+        ] );
+      ( "short reduction",
+        [
+          Alcotest.test_case "preserves yes/no" `Quick test_short_reduce_preserves;
+          Alcotest.test_case "output is short" `Quick test_short_is_short;
+          Alcotest.test_case "linear size" `Quick test_short_size_linear;
+        ] );
+      ( "disjoint sets",
+        [
+          Alcotest.test_case "decider" `Quick test_disjoint_decider;
+          Alcotest.test_case "generators" `Quick test_disjoint_generators;
+          Alcotest.test_case "composition dichotomy" `Quick
+            test_disjoint_composition_dichotomy;
+          Alcotest.test_case "compose_halves" `Quick test_compose_halves;
+        ] );
+    ]

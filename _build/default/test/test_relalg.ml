@@ -1,0 +1,242 @@
+(* Tests for relational algebra on streams (Theorem 11): reference vs
+   streaming agreement, the symmetric-difference query as SET-EQUALITY,
+   and the O(log N) scan envelope. *)
+
+module R = Relalg
+module G = Problems.Generators
+module D = Problems.Decide
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sort_tuples r = List.sort compare (List.map Array.to_list r.R.tuples)
+
+let rel_equal a b = a.R.schema = b.R.schema && sort_tuples a = sort_tuples b
+
+let db0 =
+  [
+    ( "R1",
+      R.relation ~schema:[ "a"; "b" ]
+        [ [| "1"; "x" |]; [| "2"; "y" |]; [| "3"; "x" |]; [| "4"; "w" |] ] );
+    ("R2", R.relation ~schema:[ "a"; "b" ] [ [| "2"; "y" |]; [| "5"; "z" |] ]);
+    ("S", R.relation ~schema:[ "c" ] [ [| "p" |]; [| "q" |]; [| "r" |] ]);
+    ("Empty", R.relation ~schema:[ "c" ] []);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Reference evaluator *)
+
+let test_select () =
+  let r = R.eval db0 (R.Select (R.Eq (R.Attr "b", R.Const "x"), R.Rel "R1")) in
+  check_int "two rows" 2 (List.length r.R.tuples)
+
+let test_select_compound_pred () =
+  let p = R.And (R.Neq (R.Attr "b", R.Const "x"), R.Not (R.Lt (R.Attr "a", R.Const "3"))) in
+  let r = R.eval db0 (R.Select (p, R.Rel "R1")) in
+  check "only (4,w)" true (sort_tuples r = [ [ "4"; "w" ] ])
+
+let test_project_dedups () =
+  let r = R.eval db0 (R.Project ([ "b" ], R.Rel "R1")) in
+  check "three distinct" true (sort_tuples r = [ [ "w" ]; [ "x" ]; [ "y" ] ])
+
+let test_rename () =
+  let r = R.eval db0 (R.Rename ([ ("a", "id") ], R.Rel "R1")) in
+  Alcotest.(check (list string)) "schema" [ "id"; "b" ] r.R.schema
+
+let test_set_ops () =
+  let u = R.eval db0 (R.Union (R.Rel "R1", R.Rel "R2")) in
+  check_int "union" 5 (List.length u.R.tuples);
+  let d = R.eval db0 (R.Diff (R.Rel "R1", R.Rel "R2")) in
+  check_int "diff" 3 (List.length d.R.tuples);
+  let i = R.eval db0 (R.Inter (R.Rel "R1", R.Rel "R2")) in
+  check "inter" true (sort_tuples i = [ [ "2"; "y" ] ])
+
+let test_product () =
+  let p = R.eval db0 (R.Product (R.Rel "R2", R.Rel "S")) in
+  check_int "cardinality" 6 (List.length p.R.tuples);
+  Alcotest.(check (list string)) "schema" [ "a"; "b"; "c" ] p.R.schema;
+  let pe = R.eval db0 (R.Product (R.Rel "R2", R.Rel "Empty")) in
+  check_int "times empty" 0 (List.length pe.R.tuples)
+
+let test_schema_validation () =
+  (try
+     ignore (R.eval db0 (R.Union (R.Rel "R1", R.Rel "S")));
+     Alcotest.fail "union schema mismatch accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (R.eval db0 (R.Product (R.Rel "R1", R.Rel "R1")));
+     Alcotest.fail "overlapping product accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (R.eval db0 (R.Rel "Nope"));
+    Alcotest.fail "unknown relation accepted"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Streaming agreement *)
+
+let exprs_to_check =
+  [
+    R.Rel "R1";
+    R.Select (R.Eq (R.Attr "b", R.Const "x"), R.Rel "R1");
+    R.Project ([ "b" ], R.Rel "R1");
+    R.Rename ([ ("a", "id") ], R.Rel "R1");
+    R.Union (R.Rel "R1", R.Rel "R2");
+    R.Diff (R.Rel "R1", R.Rel "R2");
+    R.Diff (R.Rel "R2", R.Rel "R1");
+    R.Inter (R.Rel "R1", R.Rel "R2");
+    R.Product (R.Rel "R2", R.Rel "S");
+    R.Product (R.Rel "S", R.Rename ([ ("c", "e") ], R.Rel "Empty"));
+    R.symmetric_difference "R1" "R2";
+    R.Project ([ "c" ], R.Product (R.Rel "R2", R.Rel "S"));
+    R.Union (R.Project ([ "b" ], R.Rel "R1"), R.Project ([ "b" ], R.Rel "R2"));
+  ]
+
+let test_streaming_matches_reference () =
+  List.iter
+    (fun e ->
+      let expected = R.eval db0 e in
+      let got, _ = R.eval_streaming db0 e in
+      check "streaming = reference" true (rel_equal expected got))
+    exprs_to_check
+
+let prop_streaming_matches_on_random_dbs =
+  QCheck.Test.make ~name:"streaming = reference on random databases" ~count:60
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let random_rel () =
+        let n = Random.State.int st 8 in
+        R.relation ~schema:[ "a"; "b" ]
+          (List.init n (fun _ ->
+               [|
+                 string_of_int (Random.State.int st 4);
+                 string_of_int (Random.State.int st 3);
+               |]))
+      in
+      let db = [ ("R1", random_rel ()); ("R2", random_rel ()) ] in
+      List.for_all
+        (fun e ->
+          let expected = R.eval db e in
+          let got, _ = R.eval_streaming db e in
+          rel_equal expected got)
+        [
+          R.Union (R.Rel "R1", R.Rel "R2");
+          R.Diff (R.Rel "R1", R.Rel "R2");
+          R.Inter (R.Rel "R1", R.Rel "R2");
+          R.symmetric_difference "R1" "R2";
+          R.Project ([ "a" ], R.Rel "R1");
+        ])
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 11 *)
+
+let test_qprime_decides_set_equality () =
+  let st = Random.State.make [| 80 |] in
+  for _ = 1 to 40 do
+    let inst, label = G.labelled st D.Set_equality ~m:8 ~n:8 in
+    let db = R.instance_db inst in
+    let res, _ = R.eval_streaming db (R.symmetric_difference "R1" "R2") in
+    check "empty iff equal" true ((res.R.tuples = []) = label)
+  done
+
+let test_scan_growth () =
+  let st = Random.State.make [| 81 |] in
+  let points =
+    List.map
+      (fun m ->
+        let inst = G.yes_instance st D.Set_equality ~m ~n:10 in
+        let db = R.instance_db inst in
+        let _, rep = R.eval_streaming db (R.symmetric_difference "R1" "R2") in
+        (rep.R.n, rep.R.scans))
+      [ 16; 32; 64; 128; 256; 512 ]
+  in
+  let slope, _, r2 = Util.Stats.log2_fit (Array.of_list points) in
+  check (Printf.sprintf "r2=%.3f" r2) true (r2 > 0.97);
+  check (Printf.sprintf "slope=%.1f" slope) true (slope < 80.0);
+  (* O(1) registers *)
+  let inst = G.yes_instance st D.Set_equality ~m:64 ~n:10 in
+  let _, rep = R.eval_streaming (R.instance_db inst) (R.symmetric_difference "R1" "R2") in
+  check "O(1) registers" true (rep.R.registers <= 16)
+
+let test_natural_join () =
+  let db =
+    [
+      ( "Emp",
+        R.relation ~schema:[ "name"; "dept" ]
+          [ [| "ada"; "db" |]; [| "grace"; "os" |]; [| "tony"; "db" |] ] );
+      ( "Dept",
+        R.relation ~schema:[ "dept"; "floor" ]
+          [ [| "db"; "3" |]; [| "os"; "1" |]; [| "pl"; "2" |] ] );
+    ]
+  in
+  let j = R.Join ([ "dept" ], R.Rel "Emp", R.Rel "Dept") in
+  let r = R.eval db j in
+  Alcotest.(check (list string)) "schema" [ "name"; "dept"; "floor" ] r.R.schema;
+  check_int "three matches" 3 (List.length r.R.tuples);
+  check "ada on 3" true
+    (List.exists (fun t -> Array.to_list t = [ "ada"; "db"; "3" ]) r.R.tuples);
+  (* streaming agrees *)
+  let got, rep = R.eval_streaming db j in
+  check "streaming join" true (rel_equal r got);
+  check "metered" true (rep.R.scans > 0);
+  (* key validation *)
+  (try
+     ignore (R.eval db (R.Join ([ "nope" ], R.Rel "Emp", R.Rel "Dept")));
+     Alcotest.fail "bad key accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (R.eval db (R.Join ([], R.Rel "Emp", R.Rel "Dept")));
+    Alcotest.fail "empty key list accepted"
+  with Invalid_argument _ -> ()
+
+let test_join_empty_side () =
+  let db =
+    [
+      ("A", R.relation ~schema:[ "k"; "x" ] [ [| "1"; "a" |] ]);
+      ("B", R.relation ~schema:[ "k"; "y" ] []);
+    ]
+  in
+  let r = R.eval db (R.Join ([ "k" ], R.Rel "A", R.Rel "B")) in
+  check_int "empty join" 0 (List.length r.R.tuples);
+  let got, _ = R.eval_streaming db (R.Join ([ "k" ], R.Rel "A", R.Rel "B")) in
+  check "streaming agrees" true (rel_equal r got)
+
+let test_relation_validation () =
+  (try
+     ignore (R.relation ~schema:[ "a"; "a" ] []);
+     Alcotest.fail "duplicate attribute accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (R.relation ~schema:[ "a" ] [ [| "1"; "2" |] ]);
+    Alcotest.fail "arity mismatch accepted"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "relalg"
+    [
+      ( "reference",
+        [
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "compound predicates" `Quick test_select_compound_pred;
+          Alcotest.test_case "project dedups" `Quick test_project_dedups;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "set ops" `Quick test_set_ops;
+          Alcotest.test_case "product" `Quick test_product;
+          Alcotest.test_case "validation" `Quick test_schema_validation;
+          Alcotest.test_case "relation validation" `Quick test_relation_validation;
+          Alcotest.test_case "natural join" `Quick test_natural_join;
+          Alcotest.test_case "join with empty side" `Quick test_join_empty_side;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "matches reference" `Quick test_streaming_matches_reference;
+          QCheck_alcotest.to_alcotest prop_streaming_matches_on_random_dbs;
+        ] );
+      ( "theorem 11",
+        [
+          Alcotest.test_case "Q' decides SET-EQUALITY" `Quick
+            test_qprime_decides_set_equality;
+          Alcotest.test_case "O(log N) scans" `Quick test_scan_growth;
+        ] );
+    ]

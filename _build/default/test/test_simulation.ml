@@ -1,0 +1,130 @@
+(* Tests for the Lemma 16 simulation: acceptance preservation,
+   reversal-budget preservation, crossing accounting, probability
+   agreement for nondeterministic machines, and the bound formulas. *)
+
+module TM = Turing.Machine
+module Z = Turing.Zoo
+module Nlm = Listmachine.Nlm
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let det_choices _ = 0
+
+let test_pair_equality_simulation () =
+  let tm = Z.pair_equality () in
+  List.iter
+    (fun (inputs, expect) ->
+      let r = Simulation.simulate tm ~inputs ~choices:det_choices in
+      check "agreement" true r.Simulation.agreement;
+      check "lm verdict" true (r.Simulation.lm_trace.Nlm.accepted = expect);
+      check "lm revs <= tm revs" true
+        (r.Simulation.lm_reversals <= r.Simulation.tm_ext_reversals))
+    [
+      ([| "0110"; "0110" |], true);
+      ([| "0110"; "0111" |], false);
+      ([| "0"; "0" |], true);
+      ([| "01"; "011" |], false);
+    ]
+
+let test_crossings_counted () =
+  let tm = Z.pair_equality () in
+  let r = Simulation.simulate tm ~inputs:[| "0011"; "0011" |] ~choices:det_choices in
+  (* the input head crosses exactly once: from segment v1 into v2 *)
+  check_int "one crossing" 1 r.Simulation.crossings
+
+let test_parity_simulation () =
+  let tm = Z.parity_ones () in
+  List.iter
+    (fun (inputs, expect) ->
+      let r = Simulation.simulate tm ~inputs ~choices:det_choices in
+      check "agreement" true r.Simulation.agreement;
+      check "verdict" true (r.Simulation.lm_trace.Nlm.accepted = expect))
+    [ ([| "11"; "0" |], true); ([| "1"; "0" |], false) ]
+
+let test_multi_segment_walk () =
+  (* parity machine scans the whole input: m-1 crossings, no reversals *)
+  let tm = Z.parity_ones () in
+  let inputs = [| "11"; "11"; "11"; "11" |] in
+  let r = Simulation.simulate tm ~inputs ~choices:det_choices in
+  check_int "three crossings" 3 r.Simulation.crossings;
+  check_int "no reversals either side" 0 r.Simulation.lm_reversals;
+  check "agreement" true r.Simulation.agreement
+
+let test_lm_trace_is_legal () =
+  (* the produced trace obeys the Lemma 30/31 bounds for its own r *)
+  let tm = Z.pair_equality () in
+  let r = Simulation.simulate tm ~inputs:[| "010101"; "010101" |] ~choices:det_choices in
+  let me = Listmachine.Lm_bounds.measure r.Simulation.lm_trace in
+  check "run length sane" true
+    (me.Listmachine.Lm_bounds.run_length
+     <= Array.length r.Simulation.lm_trace.Nlm.configs);
+  (* every config has consistent ids *)
+  Array.iter
+    (fun (c : Nlm.config) ->
+      Array.iteri
+        (fun tau list ->
+          check_int "ids parallel to contents"
+            (Array.length list)
+            (Array.length c.Nlm.ids.(tau)))
+        c.Nlm.contents)
+    r.Simulation.lm_trace.Nlm.configs
+
+let test_requires_normalized () =
+  (* build a 2-head-move machine: simulate must refuse *)
+  let b = Turing.Build.make ~name:"sync" ~ext:2 ~int_:0 ~alphabet:"01#" () in
+  let s = Turing.Build.state b "s" in
+  let acc = Turing.Build.state b ~final:true ~accepting:true "acc" in
+  Turing.Build.on' b ~from:s ~reads:"??" ~to_:acc ~writes:"??"
+    ~moves:[ TM.Right; TM.Right ];
+  let tm = Turing.Build.build b in
+  try
+    ignore (Simulation.simulate tm ~inputs:[| "0" |] ~choices:det_choices);
+    Alcotest.fail "unnormalized machine accepted"
+  with Invalid_argument _ -> ()
+
+let test_nondet_probability_agreement () =
+  let st = Random.State.make [| 70 |] in
+  let tm = Z.nondet_find_one () in
+  let ptm, plm = Simulation.acceptance_agreement st ~samples:300 tm ~inputs:[| "11" |] in
+  Alcotest.(check (float 1e-9)) "identical by construction" ptm plm;
+  check "near exact 3/4" true (abs_float (ptm -. 0.75) < 0.1)
+
+let test_bound_formulas () =
+  let b = Simulation.abstract_state_bound_log2 ~d:4 ~t:2 ~r:3 ~s:4 ~m:2 ~n:4 in
+  (* d t^2 r s + 3 t log2(m(n+1)) = 4*4*3*4 + 6*log2 10 = 192 + 19.93 *)
+  Alcotest.(check (float 0.1)) "formula (2)" 211.93 b;
+  check "choice bound grows" true
+    (Simulation.choice_sequence_bound_log2 ~c:1 ~r:2 ~s:2 ~t:2 ~n:100
+    > Simulation.choice_sequence_bound_log2 ~c:1 ~r:1 ~s:2 ~t:2 ~n:100)
+
+let test_simulated_skeletons_usable () =
+  (* skeleton machinery applies to simulated traces *)
+  let tm = Z.pair_equality () in
+  let r = Simulation.simulate tm ~inputs:[| "01"; "01" |] ~choices:det_choices in
+  let sk = Listmachine.Skeleton.of_trace r.Simulation.lm_trace in
+  (* the machine reads both segments: positions 1 and 2 both appear *)
+  let all_positions =
+    Array.to_list sk.Listmachine.Skeleton.entries
+    |> List.concat_map Listmachine.Skeleton.positions_of_entry
+    |> List.sort_uniq Int.compare
+  in
+  Alcotest.(check (list int)) "both segments touched" [ 1; 2 ] all_positions
+
+let () =
+  Alcotest.run "simulation"
+    [
+      ( "lemma 16",
+        [
+          Alcotest.test_case "pair equality" `Quick test_pair_equality_simulation;
+          Alcotest.test_case "crossings" `Quick test_crossings_counted;
+          Alcotest.test_case "parity" `Quick test_parity_simulation;
+          Alcotest.test_case "multi-segment walk" `Quick test_multi_segment_walk;
+          Alcotest.test_case "trace legality" `Quick test_lm_trace_is_legal;
+          Alcotest.test_case "requires normalized" `Quick test_requires_normalized;
+          Alcotest.test_case "probability agreement" `Quick
+            test_nondet_probability_agreement;
+          Alcotest.test_case "bound formulas" `Quick test_bound_formulas;
+          Alcotest.test_case "skeletons usable" `Quick test_simulated_skeletons_usable;
+        ] );
+    ]

@@ -1,0 +1,180 @@
+(* Tests for the instrumented tape substrate: reversal accounting,
+   space accounting, metering, and budget enforcement. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_empty_tape () =
+  let t = Tape.create ~blank:'_' () in
+  check_int "blank read" (Char.code '_') (Char.code (Tape.read t));
+  check_int "pos" 0 (Tape.position t);
+  check_int "revs" 0 (Tape.reversals t);
+  check "at left end" true (Tape.at_left_end t)
+
+let test_read_write_move () =
+  let t = Tape.of_list ~blank:0 [ 10; 20; 30 ] in
+  check_int "cell0" 10 (Tape.read t);
+  Tape.move t Tape.Right;
+  check_int "cell1" 20 (Tape.read t);
+  Tape.write t 99;
+  check_int "overwritten" 99 (Tape.read t);
+  Tape.move t Tape.Right;
+  check_int "cell2" 30 (Tape.read t);
+  check_int "no reversal yet" 0 (Tape.reversals t);
+  Tape.move t Tape.Left;
+  check_int "one reversal" 1 (Tape.reversals t);
+  Tape.move t Tape.Left;
+  check_int "still one" 1 (Tape.reversals t);
+  Tape.move t Tape.Right;
+  check_int "two reversals" 2 (Tape.reversals t)
+
+let test_move_off_left () =
+  let t = Tape.of_list ~blank:'_' [ 'a' ] in
+  Alcotest.check_raises "left of 0" (Invalid_argument "Tape.move: left of position 0")
+    (fun () -> Tape.move t Tape.Left)
+
+let test_cells_used_grows () =
+  let t = Tape.create ~blank:'_' () in
+  for _ = 1 to 9 do
+    Tape.move t Tape.Right
+  done;
+  check_int "10 cells visited" 10 (Tape.cells_used t);
+  Tape.write t 'x';
+  check_int "write does not extend past head" 10 (Tape.cells_used t)
+
+let test_rewind () =
+  let t = Tape.of_list ~blank:'_' [ 'a'; 'b'; 'c' ] in
+  Tape.move t Tape.Right;
+  Tape.move t Tape.Right;
+  Tape.rewind t;
+  check_int "rewound" 0 (Tape.position t);
+  check_int "one reversal" 1 (Tape.reversals t);
+  (* rewinding when already at 0 costs nothing *)
+  Tape.rewind t;
+  check_int "idempotent" 1 (Tape.reversals t)
+
+let test_to_list_iter () =
+  let t = Tape.of_list ~blank:'_' [ 'x'; 'y' ] in
+  Alcotest.(check (list char)) "to_list" [ 'x'; 'y' ] (Tape.to_list t);
+  let seen = ref [] in
+  Tape.iter_right t (fun c -> seen := c :: !seen);
+  Alcotest.(check (list char)) "iter" [ 'y'; 'x' ] !seen;
+  (* iter_right from the middle *)
+  let t2 = Tape.of_list ~blank:'_' [ 'a'; 'b'; 'c' ] in
+  Tape.move t2 Tape.Right;
+  let seen2 = ref [] in
+  Tape.iter_right t2 (fun c -> seen2 := c :: !seen2);
+  Alcotest.(check (list char)) "iter from middle" [ 'c'; 'b' ] !seen2
+
+let test_meter () =
+  let m = Tape.Meter.create () in
+  Tape.Meter.alloc m 5;
+  check_int "current" 5 (Tape.Meter.current m);
+  Tape.Meter.free m 2;
+  check_int "freed" 3 (Tape.Meter.current m);
+  check_int "peak" 5 (Tape.Meter.peak m);
+  let r = Tape.Meter.with_units m 10 (fun () -> Tape.Meter.current m) in
+  check_int "inside" 13 r;
+  check_int "after" 3 (Tape.Meter.current m);
+  check_int "peak updated" 13 (Tape.Meter.peak m);
+  Alcotest.check_raises "underflow" (Invalid_argument "Meter.free: underflow")
+    (fun () -> Tape.Meter.free m 100)
+
+let test_group_accounting () =
+  let g = Tape.Group.create () in
+  let t1 = Tape.Group.tape_of_list g ~name:"a" ~blank:'_' [ 'x'; 'y' ] in
+  let t2 = Tape.Group.tape g ~name:"b" ~blank:'_' () in
+  check_int "fresh scans" 1 (Tape.Group.scans g);
+  Tape.move t1 Tape.Right;
+  Tape.move t1 Tape.Left;
+  Tape.move t2 Tape.Right;
+  Tape.move t2 Tape.Left;
+  check_int "two reversals" 2 (Tape.Group.total_reversals g);
+  check_int "three scans" 3 (Tape.Group.scans g);
+  let r = Tape.Group.report g in
+  Alcotest.(check (list (pair string int)))
+    "per tape"
+    [ ("a", 1); ("b", 1) ]
+    r.Tape.Group.reversals_by_tape
+
+let test_group_budget_scans () =
+  let g =
+    Tape.Group.create
+      ~budget:{ Tape.Group.max_scans = Some 2; max_internal = None }
+      ()
+  in
+  let t = Tape.Group.tape_of_list g ~name:"t" ~blank:'_' [ 'a'; 'b'; 'c' ] in
+  Tape.move t Tape.Right;
+  Tape.move t Tape.Left (* scan 2: fine *);
+  check "raises on third scan" true
+    (try
+       Tape.move t Tape.Right;
+       false
+     with Tape.Budget_exceeded _ -> true)
+
+let test_group_budget_internal () =
+  let g =
+    Tape.Group.create
+      ~budget:{ Tape.Group.max_scans = None; max_internal = Some 4 }
+      ()
+  in
+  let m = Tape.Group.meter g in
+  Tape.Meter.alloc m 4;
+  check "raises past limit" true
+    (try
+       Tape.Meter.alloc m 1;
+       false
+     with Tape.Budget_exceeded _ -> true)
+
+let test_double_registration () =
+  let g = Tape.Group.create () in
+  let t = Tape.Group.tape g ~blank:'_' () in
+  Alcotest.check_raises "regrouped" (Invalid_argument "Group.add_tape: tape already grouped")
+    (fun () -> Tape.Group.add_tape g t)
+
+let prop_reversals_count_direction_changes =
+  (* random walk: reversals = number of adjacent direction changes among
+     executed moves *)
+  QCheck.Test.make ~name:"reversal counting on random walks" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 60) bool)
+    (fun dirs ->
+      let t = Tape.create ~blank:0 () in
+      let expected = ref 0 in
+      let last = ref true (* Right *) in
+      let executed = ref [] in
+      List.iter
+        (fun right ->
+          let dir = if right then Tape.Right else Tape.Left in
+          if (not right) && Tape.at_left_end t then ()
+          else begin
+            Tape.move t dir;
+            executed := right :: !executed;
+            if right <> !last then incr expected;
+            last := right
+          end)
+        dirs;
+      Tape.reversals t = !expected)
+
+let () =
+  Alcotest.run "tape"
+    [
+      ( "tape",
+        [
+          Alcotest.test_case "empty" `Quick test_empty_tape;
+          Alcotest.test_case "read/write/move" `Quick test_read_write_move;
+          Alcotest.test_case "left edge" `Quick test_move_off_left;
+          Alcotest.test_case "cells_used" `Quick test_cells_used_grows;
+          Alcotest.test_case "rewind" `Quick test_rewind;
+          Alcotest.test_case "to_list/iter" `Quick test_to_list_iter;
+          QCheck_alcotest.to_alcotest prop_reversals_count_direction_changes;
+        ] );
+      ( "meter",
+        [ Alcotest.test_case "alloc/free/peak" `Quick test_meter ] );
+      ( "group",
+        [
+          Alcotest.test_case "accounting" `Quick test_group_accounting;
+          Alcotest.test_case "scan budget" `Quick test_group_budget_scans;
+          Alcotest.test_case "internal budget" `Quick test_group_budget_internal;
+          Alcotest.test_case "double registration" `Quick test_double_registration;
+        ] );
+    ]

@@ -1,0 +1,347 @@
+(* Tests for the Turing machine model: Definition 1 resource accounting,
+   Definition 17 choice-driven runs, Lemma 18 probabilities,
+   normalization, and the zoo machines. *)
+
+module M = Turing.Machine
+module A = Turing.Accept
+module Z = Turing.Zoo
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let accepted st = st.M.outcome = M.Accepted
+
+(* ------------------------------------------------------------------ *)
+(* Core semantics *)
+
+let test_validation () =
+  let bad () =
+    M.create ~name:"bad" ~state_names:[| "a" |] ~start:0 ~final:[| false |]
+      ~accepting:[| true |] ~ext:1 ~int_:0 []
+  in
+  (try
+     ignore (bad ());
+     Alcotest.fail "accepting non-final accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (M.create ~name:"bad2" ~state_names:[| "a" |] ~start:0 ~final:[| true |]
+         ~accepting:[| true |] ~ext:1 ~int_:0
+         [ (0, "x", { M.next_state = 0; writes = "x"; moves = [| M.Stay |] }) ]);
+    Alcotest.fail "transition out of final state accepted"
+  with Invalid_argument _ -> ()
+
+let test_pair_equality () =
+  let m = Z.pair_equality () in
+  List.iter
+    (fun (input, expect) ->
+      let st = M.run_deterministic m ~input in
+      check input true (accepted st = expect))
+    [
+      ("0110#0110#", true);
+      ("0110#0111#", false);
+      ("##", true);
+      ("0#0#", true);
+      ("0#1#", false);
+      ("01#011#", false);
+      ("011#01#", false);
+      ("1#", false);
+    ]
+
+let test_pair_equality_resources () =
+  let m = Z.pair_equality () in
+  (* (3, O(1), 2)-bounded: 3 scans regardless of input size *)
+  List.iter
+    (fun n ->
+      let v = String.concat "" (List.init n (fun i -> if i mod 2 = 0 then "0" else "1")) in
+      let st = M.run_deterministic m ~input:(v ^ "#" ^ v ^ "#") in
+      check_int (Printf.sprintf "scans at n=%d" n) 3 (M.scans st);
+      check_int "no internal tapes" 0 (M.total_int_space st))
+    [ 1; 8; 64; 256 ]
+
+let test_parity () =
+  let m = Z.parity_ones () in
+  check "even" true (accepted (M.run_deterministic m ~input:"101101"));
+  check "odd" false (accepted (M.run_deterministic m ~input:"10110"));
+  check "empty" true (accepted (M.run_deterministic m ~input:""));
+  check_int "one scan" 1 (M.scans (M.run_deterministic m ~input:"111111"))
+
+let test_copy_to_internal_space () =
+  let m = Z.copy_to_internal () in
+  List.iter
+    (fun n ->
+      let input = String.make n '1' in
+      let st = M.run_deterministic m ~input in
+      check "accepts" true (accepted st);
+      check_int "internal space = n+1" (n + 1) (M.total_int_space st))
+    [ 1; 5; 20 ]
+
+let test_ones_mod4 () =
+  let m = Z.ones_mod4 () in
+  List.iter
+    (fun (input, expect) ->
+      let st = M.run_deterministic m ~input in
+      check (Printf.sprintf "%S" input) true (accepted st = expect))
+    [
+      ("", true);
+      ("1", false);
+      ("11", false);
+      ("111", false);
+      ("1111", true);
+      ("1010#101", true);
+      ("10101#011", false);
+      ("11111111", true);
+      ("0#0#", true);
+      ("1#1#1#1#1#", false);
+    ]
+
+let test_ones_mod4_internal_space_logarithmic () =
+  let m = Z.ones_mod4 () in
+  let space_for k =
+    let st = M.run_deterministic m ~input:(String.make k '1') in
+    M.total_int_space st
+  in
+  (* counter of b bits needs marker + b cells + one carry overshoot *)
+  List.iter
+    (fun k ->
+      let s = space_for k in
+      let logk = int_of_float (ceil (log (float_of_int (k + 2)) /. log 2.0)) in
+      check (Printf.sprintf "k=%d space=%d" k s) true (s <= logk + 3))
+    [ 1; 4; 16; 64; 256; 1024 ];
+  (* and it genuinely grows (uses the internal tape) *)
+  check "grows" true (space_for 1024 > space_for 4)
+
+let test_stuck_and_fuel () =
+  let m = Z.parity_ones () in
+  (* '^' is outside the machine's alphabet: no transition applies *)
+  let st = M.run_deterministic m ~input:"1^1" in
+  check "stuck" true (st.M.outcome = M.Stuck);
+  let st2 = M.run ~fuel:2 m ~input:"11111" ~choices:(fun _ -> 0) in
+  check "out of fuel" true (st2.M.outcome = M.Out_of_fuel)
+
+(* ------------------------------------------------------------------ *)
+(* Nondeterminism and probabilities *)
+
+let test_coin_probability () =
+  let m = Z.coin () in
+  let p = A.exact_probability m ~input:"0" in
+  Alcotest.(check (float 1e-9)) "exact 1/2" 0.5 p.A.probability;
+  check_int "two runs" 2 p.A.runs_explored
+
+let test_find_one_probability () =
+  let m = Z.nondet_find_one () in
+  (* k ones: acceptance probability 1 - 2^-k *)
+  List.iter
+    (fun (input, expect) ->
+      let p = A.exact_probability m ~input in
+      Alcotest.(check (float 1e-9)) input expect p.A.probability)
+    [ ("", 0.0); ("0", 0.0); ("1", 0.5); ("11", 0.75); ("0101", 0.75); ("111", 0.875) ]
+
+let test_estimate_matches_exact () =
+  let m = Z.nondet_find_one () in
+  let st = Random.State.make [| 17 |] in
+  let est = A.estimate_probability st ~samples:4000 m ~input:"11" in
+  check "estimate near 3/4" true (abs_float (est -. 0.75) < 0.05)
+
+let test_choice_driven_runs_deterministic () =
+  (* Definition 17: same choice sequence, same run *)
+  let m = Z.nondet_find_one () in
+  let choices i = (i * 7) + 3 in
+  let a = M.run m ~input:"1101" ~choices in
+  let b = M.run m ~input:"1101" ~choices in
+  check "same outcome" true (a.M.outcome = b.M.outcome);
+  check_int "same steps" a.M.steps b.M.steps
+
+let test_one_sided_checker () =
+  let m = Z.coin () in
+  let st = Random.State.make [| 18 |] in
+  (* coin accepts everything with prob 1/2: fine as (1/2,0)-RTM only if
+     negatives are never accepted - a negative input IS accepted
+     sometimes, so flag it *)
+  (match A.one_sided_monte_carlo st m ~positives:[ "1" ] ~negatives:[ "0" ] with
+  | `False_positive _ -> ()
+  | `Ok | `Low_acceptance _ -> Alcotest.fail "coin should false-positive");
+  match A.one_sided_monte_carlo st m ~positives:[ "1" ] ~negatives:[] with
+  | `Ok -> ()
+  | `False_positive _ | `Low_acceptance _ -> Alcotest.fail "coin accepts half"
+
+(* ------------------------------------------------------------------ *)
+(* Bounds *)
+
+let test_check_bounded () =
+  let m = Z.pair_equality () in
+  let r = A.check_bounded ~r:(fun _ -> 3) ~s:(fun _ -> 0) m ~input:"01#01#"
+      ~choices:(fun _ -> 0)
+  in
+  check "within (3,0)" true r.A.within;
+  let r2 = A.check_bounded ~r:(fun _ -> 2) ~s:(fun _ -> 0) m ~input:"01#01#"
+      ~choices:(fun _ -> 0)
+  in
+  check "violates (2,0)" false r2.A.within
+
+let test_lemma3_bound () =
+  (* every run is shorter than the Lemma 3 bound with c generous *)
+  let m = Z.pair_equality () in
+  List.iter
+    (fun n ->
+      let v = String.make n '0' in
+      let input = v ^ "#" ^ v ^ "#" in
+      let st = M.run_deterministic m ~input in
+      let bound = A.lemma3_bound ~n:(String.length input) ~r:3 ~s:1 ~t:2 ~c:4 in
+      check "run length below bound" true (float_of_int st.M.steps <= bound))
+    [ 1; 4; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* Normalization *)
+
+let two_head_machine () =
+  (* copies input tape to tape 2 moving both heads simultaneously *)
+  let b = Turing.Build.make ~name:"sync-copy" ~ext:2 ~int_:0 ~alphabet:"01" () in
+  let s = Turing.Build.state b "scan" in
+  let acc = Turing.Build.state b ~final:true ~accepting:true "acc" in
+  List.iter
+    (fun c ->
+      let cs = String.make 1 c in
+      Turing.Build.on' b ~from:s ~reads:(cs ^ "_") ~to_:s ~writes:(cs ^ cs)
+        ~moves:[ M.Right; M.Right ])
+    [ '0'; '1' ];
+  Turing.Build.on' b ~from:s ~reads:"__" ~to_:acc ~writes:"__" ~moves:[ M.Stay; M.Stay ];
+  Turing.Build.build b
+
+let test_normalize () =
+  let m = two_head_machine () in
+  check "not normalized" false (M.is_normalized m);
+  let nm = M.normalize m in
+  check "normalized" true (M.is_normalized nm);
+  List.iter
+    (fun input ->
+      let a = M.run_deterministic m ~input in
+      let b = M.run_deterministic nm ~input in
+      check "same outcome" true (a.M.outcome = b.M.outcome);
+      Alcotest.(check (array int))
+        "same reversals" a.M.ext_reversals b.M.ext_reversals;
+      (* tape contents also agree *)
+      Alcotest.(check string)
+        "tape 2 content"
+        (M.tape_contents m a.M.final_config 1)
+        (M.tape_contents nm b.M.final_config 1))
+    [ ""; "1"; "0110"; "111000" ]
+
+let test_normalize_idempotent_on_normalized () =
+  let m = Z.parity_ones () in
+  check "already normalized" true (M.is_normalized m);
+  check "normalize = same machine" true (M.normalize m == m)
+
+(* ------------------------------------------------------------------ *)
+(* Closure operations *)
+
+let test_complement () =
+  let par = Z.parity_ones () in
+  let odd = Turing.Closure.complement par in
+  List.iter
+    (fun input ->
+      let a = accepted (M.run_deterministic par ~input) in
+      let b = accepted (M.run_deterministic odd ~input) in
+      check input true (a = not b))
+    [ ""; "1"; "11"; "10101"; "1111" ];
+  (* complement of a nondeterministic machine is rejected *)
+  try
+    ignore (Turing.Closure.complement (Z.coin ()));
+    Alcotest.fail "complement of NTM accepted"
+  with Invalid_argument _ -> ()
+
+let test_complement_preserves_resources () =
+  let par = Z.parity_ones () in
+  let odd = Turing.Closure.complement par in
+  let a = M.run_deterministic par ~input:"110101" in
+  let b = M.run_deterministic odd ~input:"110101" in
+  check_int "same scans" (M.scans a) (M.scans b);
+  check_int "same steps" a.M.steps b.M.steps
+
+let test_nondet_union () =
+  (* parity-even OR contains-a-one *)
+  let u = Turing.Closure.nondet_union (Z.parity_ones ()) (Z.nondet_find_one ()) in
+  let accepts input =
+    let p = A.exact_probability u ~input in
+    p.A.probability > 0.0
+  in
+  check "even, no ones: left accepts" true (accepts "00");
+  check "odd ones: right accepts" true (accepts "100");
+  check "empty: left accepts" true (accepts "");
+  (* a word where neither accepts does not exist for this pair (odd
+     ones implies contains a one), so check branch counts instead *)
+  let p = A.exact_probability u ~input:"1" in
+  (* branch left: parity odd -> reject; branch right: 1/2 accept.
+     total = 1/2 * 0 + 1/2 * 1/2 = 1/4 *)
+  Alcotest.(check (float 1e-9)) "probability algebra" 0.25 p.A.probability
+
+let test_nondet_union_validation () =
+  try
+    ignore (Turing.Closure.nondet_union (Z.parity_ones ()) (Z.pair_equality ()));
+    Alcotest.fail "tape-count mismatch accepted"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "turing"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "pair equality" `Quick test_pair_equality;
+          Alcotest.test_case "pair equality resources" `Quick
+            test_pair_equality_resources;
+          Alcotest.test_case "parity" `Quick test_parity;
+          Alcotest.test_case "internal space" `Quick test_copy_to_internal_space;
+          Alcotest.test_case "ones mod 4" `Quick test_ones_mod4;
+          Alcotest.test_case "counter space O(log n)" `Quick
+            test_ones_mod4_internal_space_logarithmic;
+          Alcotest.test_case "stuck / fuel" `Quick test_stuck_and_fuel;
+        ] );
+      ( "randomized",
+        [
+          Alcotest.test_case "coin exact" `Quick test_coin_probability;
+          Alcotest.test_case "find-one exact" `Quick test_find_one_probability;
+          Alcotest.test_case "estimate vs exact" `Quick test_estimate_matches_exact;
+          Alcotest.test_case "choice-driven determinism" `Quick
+            test_choice_driven_runs_deterministic;
+          Alcotest.test_case "one-sided contract checker" `Quick test_one_sided_checker;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "check_bounded" `Quick test_check_bounded;
+          Alcotest.test_case "lemma 3" `Quick test_lemma3_bound;
+        ] );
+      ( "normalization",
+        [
+          Alcotest.test_case "serializes multi-head moves" `Quick test_normalize;
+          Alcotest.test_case "idempotent" `Quick test_normalize_idempotent_on_normalized;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "config and run rendering" `Quick (fun () ->
+              let m = Z.pair_equality () in
+              let cfg =
+                Turing.Render.config_to_string m (M.initial_config m "01#01#")
+              in
+              check "shows tapes" true
+                (String.split_on_char '\n' cfg
+                |> List.exists (fun l ->
+                       String.length l > 6 && String.sub l 0 6 = "tape 1"));
+              let run =
+                Turing.Render.run_to_string ~max_steps:3 m ~input:"0#0#"
+                  ~choices:(fun _ -> 0)
+              in
+              check "shows outcome" true
+                (String.split_on_char '\n' run
+                |> List.exists (fun l ->
+                       List.mem "ACCEPTS" (String.split_on_char ' ' l))));
+        ] );
+      ( "closure",
+        [
+          Alcotest.test_case "complement" `Quick test_complement;
+          Alcotest.test_case "complement resources" `Quick
+            test_complement_preserves_resources;
+          Alcotest.test_case "nondeterministic union" `Quick test_nondet_union;
+          Alcotest.test_case "union validation" `Quick test_nondet_union_validation;
+        ] );
+    ]
