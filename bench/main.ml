@@ -1,10 +1,22 @@
 (* Experiment + micro-benchmark driver.
 
    Usage:
-     dune exec bench/main.exe               - all experiment tables + benches
-     dune exec bench/main.exe -- exp4       - one experiment
-     dune exec bench/main.exe -- tables     - experiment tables only
-     dune exec bench/main.exe -- micro      - Bechamel micro-benchmarks only *)
+     dune exec bench/main.exe                          - all tables + benches
+     dune exec bench/main.exe -- exp4                  - one experiment
+     dune exec bench/main.exe -- tables                - experiment tables only
+     dune exec bench/main.exe -- micro                 - micro-benchmarks only
+     dune exec bench/main.exe -- micro --json PATH     - benches + per-table
+                                                         wall clock, as JSON
+     dune exec bench/main.exe -- -j 4 tables           - 4 worker domains
+
+   [-j N] sizes the Domain pool the Monte Carlo harness fans trials out
+   over (default: STLB_DOMAINS, else the hardware); table contents are
+   bit-identical for every N. [micro --json PATH] writes the bench
+   trajectory (Bechamel ns/run per micro-benchmark, wall-clock seconds
+   per experiment table) so future perf PRs can diff against a
+   committed baseline; [--quick] shrinks the Bechamel quota and skips
+   the table sweep - the @bench-smoke alias uses it to catch driver
+   bitrot in seconds. *)
 
 open Bechamel
 open Toolkit
@@ -34,6 +46,7 @@ let micro_tests () =
       (Xmlq.Doc.of_instance (G.yes_instance st D.Set_equality ~m:32 ~n:10))
   in
   let tm = Turing.Zoo.pair_equality () in
+  let pool4 = Parallel.Pool.create ~domains:4 () in
   [
     Test.make ~name:"fingerprint-multiset-eq-m64"
       (Staged.stage (fun () -> ignore (Fingerprint.run st fp_inst)));
@@ -57,37 +70,150 @@ let micro_tests () =
            ignore
              (Turing.Machine.run_deterministic tm
                 ~input:(String.make 32 '0' ^ "#" ^ String.make 32 '0' ^ "#"))));
+    Test.make ~name:"random-prime-le-k66560"
+      (Staged.stage (fun () -> ignore (Numtheory.random_prime_le st 66_560)));
+    Test.make ~name:"pool-monte-carlo-j4-100"
+      (Staged.stage (fun () ->
+           ignore
+             (Parallel.Pool.monte_carlo_count pool4 ~trials:100 ~seed:7
+                (fun st -> Random.State.bool st))));
   ]
 
-let run_micro () =
-  print_endline "Micro-benchmarks (Bechamel, monotonic clock, ns/run):";
+(* (name, ns/run estimate) per micro-benchmark *)
+let micro_estimates ~quota =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) ()
   in
-  List.iter
+  List.concat_map
     (fun test ->
       let results = Benchmark.all cfg instances test in
       let analyzed = Analyze.all ols Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "  %-34s %14.1f ns/run\n" name est
-          | Some _ | None -> Printf.printf "  %-34s (no estimate)\n" name)
-        analyzed)
-    (List.map (fun t -> Test.make_grouped ~name:"" ~fmt:"%s%s" [ t ]) (micro_tests ()))
+      Hashtbl.fold
+        (fun name ols_result acc ->
+          let est =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> Some est
+            | Some _ | None -> None
+          in
+          (name, est) :: acc)
+        analyzed [])
+    (List.map
+       (fun t -> Test.make_grouped ~name:"" ~fmt:"%s%s" [ t ])
+       (micro_tests ()))
+
+let print_estimates estimates =
+  print_endline "Micro-benchmarks (Bechamel, monotonic clock, ns/run):";
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some est -> Printf.printf "  %-34s %14.1f ns/run\n" name est
+      | None -> Printf.printf "  %-34s (no estimate)\n" name)
+    estimates
+
+let time_tables () =
+  List.map
+    (fun (name, f) ->
+      let t0 = Unix.gettimeofday () in
+      f ();
+      print_newline ();
+      (name, Unix.gettimeofday () -. t0))
+    Harness.Experiments.all
+
+(* Minimal JSON writer - names are ASCII identifiers, so escaping only
+   needs the JSON specials. *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let write_trajectory ~path ~quick ~estimates ~tables =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"stlb-bench-trajectory/1\",\n";
+  out "  \"domains\": %d,\n" (Parallel.Pool.default_domains ());
+  out "  \"quick\": %b,\n" quick;
+  out "  \"ocaml\": %s,\n" (json_string Sys.ocaml_version);
+  out "  \"micro\": [\n";
+  List.iteri
+    (fun i (name, est) ->
+      out "    {\"name\": %s, \"ns_per_run\": %s}%s\n" (json_string name)
+        (match est with Some e -> Printf.sprintf "%.1f" e | None -> "null")
+        (if i = List.length estimates - 1 then "" else ","))
+    estimates;
+  out "  ],\n";
+  out "  \"tables\": [\n";
+  List.iteri
+    (fun i (name, wall) ->
+      out "    {\"name\": %s, \"wall_s\": %.3f}%s\n" (json_string name) wall
+        (if i = List.length tables - 1 then "" else ","))
+    tables;
+  out "  ]\n";
+  out "}\n";
+  close_out oc
+
+let run_micro ?json ~quick () =
+  let quota = if quick then 0.05 else 0.5 in
+  match json with
+  | None -> print_estimates (micro_estimates ~quota)
+  | Some path ->
+      (* the table sweep is the expensive half of the trajectory; the
+         smoke path skips it. Time it before Bechamel churns the heap
+         so the wall clocks track the standalone runs. *)
+      let tables = if quick then [] else time_tables () in
+      let estimates = micro_estimates ~quota in
+      print_estimates estimates;
+      write_trajectory ~path ~quick ~estimates ~tables;
+      Printf.printf "wrote bench trajectory to %s\n" path
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [-j N] [expN | tables | micro [--json PATH] [--quick]]";
+  exit 1
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  (* strip [-j N] anywhere on the command line, then dispatch *)
+  let rec split_j acc = function
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some d when d >= 1 ->
+            Parallel.Pool.set_default_domains d;
+            split_j acc rest
+        | _ -> usage ())
+    | "-j" :: [] -> usage ()
+    | a :: rest -> split_j (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = split_j [] (List.tl (Array.to_list Sys.argv)) in
   match args with
   | [] ->
       Harness.Experiments.run_all ();
-      run_micro ()
+      run_micro ~quick:false ()
   | [ "tables" ] -> Harness.Experiments.run_all ()
-  | [ "micro" ] -> run_micro ()
+  | "micro" :: opts ->
+      let rec parse json quick = function
+        | "--json" :: path :: rest -> parse (Some path) quick rest
+        | "--quick" :: rest -> parse json true rest
+        | [] -> (json, quick)
+        | _ -> usage ()
+      in
+      let json, quick = parse None false opts in
+      run_micro ?json ~quick ()
   | [ name ] -> (
       match List.assoc_opt name Harness.Experiments.all with
       | Some f -> f ()
@@ -95,6 +221,4 @@ let () =
           Printf.eprintf "unknown experiment %S; available: %s, tables, micro\n" name
             (String.concat ", " (List.map fst Harness.Experiments.all));
           exit 1)
-  | _ ->
-      prerr_endline "usage: main.exe [expN | tables | micro]";
-      exit 1
+  | _ -> usage ()

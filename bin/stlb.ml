@@ -19,6 +19,19 @@ let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for Monte Carlo trial fan-out (default: the \
+     $(b,STLB_DOMAINS) environment variable, else the hardware). Results \
+     are bit-identical for every worker count; $(b,-j 1) forces the \
+     sequential path."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let apply_jobs = function
+  | Some d when d >= 1 -> Parallel.Pool.set_default_domains d
+  | Some _ | None -> ()
+
 let m_arg default =
   let doc = "Number of strings per half (m)." in
   Arg.(value & opt int default & info [ "m" ] ~docv:"M" ~doc)
@@ -127,7 +140,8 @@ let decide_cmd =
     Term.(const run $ seed_arg $ problem_arg $ algorithm_arg $ file_arg)
 
 let adversary_cmd =
-  let run seed m chains optimistic =
+  let run seed jobs m chains optimistic =
+    apply_jobs jobs;
     let st = state_of seed in
     let space = G.Checkphi.default_space ~m ~n:(2 * m) in
     let needed = Listmachine.Machines.chains_needed ~space in
@@ -163,25 +177,26 @@ let adversary_cmd =
   in
   let doc = "Run the Lemma 21 adversary against a staircase CHECK-phi machine." in
   Cmd.v (Cmd.info "adversary" ~doc)
-    Term.(const run $ seed_arg $ m_arg 8 $ chains_arg $ optimistic_arg)
+    Term.(const run $ seed_arg $ jobs_arg $ m_arg 8 $ chains_arg $ optimistic_arg)
 
 let experiment_cmd =
-  let run name =
+  let run jobs name =
+    apply_jobs jobs;
     match name with
     | "all" -> Harness.Experiments.run_all ()
     | name -> (
         match List.assoc_opt name Harness.Experiments.all with
         | Some f -> f ()
         | None ->
-            Printf.eprintf "unknown experiment %S (exp1..exp12 or all)\n" name;
+            Printf.eprintf "unknown experiment %S (exp1..exp15 or all)\n" name;
             exit 1)
   in
   let name_arg =
-    let doc = "Experiment name: exp1..exp12, or all." in
+    let doc = "Experiment name: exp1..exp15, or all." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"NAME" ~doc)
   in
   let doc = "Run reproduction experiments (the EXPERIMENTS.md tables)." in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ name_arg)
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ jobs_arg $ name_arg)
 
 let classes_cmd =
   let run () =

@@ -35,21 +35,27 @@ let run_with ~fuel machine ~seed inst =
   Nlm.run ~fuel machine ~values:(values_of inst)
     ~choices:(choice_fn ~seed ~num_choices:machine.Nlm.num_choices)
 
-let attack st ~space ~machine ?(yes_samples = 48) ?(choice_trials = 8)
+let attack ?pool st ~space ~machine ?(yes_samples = 48) ?(choice_trials = 8)
     ?(resample_tries = 32) ?(fuel = 200_000) () =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
   let phi = G.Checkphi.phi space in
   let m = P.size phi in
   let samples = List.init yes_samples (fun _ -> G.Checkphi.yes st space) in
-  (* Step 1 (Lemma 26): fix a choice sequence accepting many yeses. *)
+  let sample_arr = Array.of_list samples in
+  (* Step 1 (Lemma 26): fix a choice sequence accepting many yeses.
+     Replaying the machine on a sample is pure (the choice function is
+     regenerated from the seed), so the sample sweeps fan out over the
+     pool; folds stay in sample order, keeping the outcome independent
+     of the worker count. *)
   let trials =
     if machine.Nlm.num_choices = 1 then [ 0 ]
     else List.init choice_trials (fun _ -> Random.State.full_int st max_int)
   in
   let score seed =
-    List.fold_left
-      (fun acc inst ->
-        if (run_with ~fuel machine ~seed inst).Nlm.accepted then acc + 1 else acc)
-      0 samples
+    Parallel.Pool.map pool
+      (fun inst -> (run_with ~fuel machine ~seed inst).Nlm.accepted)
+      sample_arr
+    |> Array.fold_left (fun acc accepted -> if accepted then acc + 1 else acc) 0
   in
   let seed, hits =
     List.fold_left
@@ -62,17 +68,21 @@ let attack st ~space ~machine ?(yes_samples = 48) ?(choice_trials = 8)
   let yes_acceptance = float_of_int hits /. float_of_int yes_samples in
   if 2 * hits < yes_samples then Contract_violated { yes_acceptance }
   else begin
-    (* Step 2: skeleton census over the accepting runs. *)
+    (* Step 2: skeleton census over the accepting runs (replays fan
+       out; the census itself is folded in sample order). *)
     let census = Hashtbl.create 16 in
-    List.iter
+    Parallel.Pool.map pool
       (fun inst ->
         let tr = run_with ~fuel machine ~seed inst in
-        if tr.Nlm.accepted then begin
-          let key = Skeleton.serialize (Skeleton.of_trace tr) in
-          let prev = Option.value ~default:[] (Hashtbl.find_opt census key) in
-          Hashtbl.replace census key (inst :: prev)
-        end)
-      samples;
+        if tr.Nlm.accepted then
+          Some (Skeleton.serialize (Skeleton.of_trace tr), inst)
+        else None)
+      sample_arr
+    |> Array.iter (function
+         | None -> ()
+         | Some (key, inst) ->
+             let prev = Option.value ~default:[] (Hashtbl.find_opt census key) in
+             Hashtbl.replace census key (inst :: prev));
     let skeleton_classes = Hashtbl.length census in
     let _, best_class =
       Hashtbl.fold

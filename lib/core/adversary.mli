@@ -46,6 +46,7 @@ type outcome =
     }
 
 val attack :
+  ?pool:Parallel.Pool.t ->
   Random.State.t ->
   space:Problems.Generators.Checkphi.space ->
   machine:Util.Bitstring.t Listmachine.Nlm.t ->
@@ -58,7 +59,11 @@ val attack :
 (** Run the pipeline. [yes_samples] (default 48) yes-instances are
     drawn from the space; [choice_trials] (default 8) candidate choice
     sequences are tried (1 suffices for deterministic machines);
-    [resample_tries] (default 32) bounds the active search in step 4. *)
+    [resample_tries] (default 32) bounds the active search in step 4.
+    Machine replays (the Lemma 26 scoring sweep and the skeleton
+    census) are pure and fan out over [pool] (default
+    {!Parallel.Pool.default}); the outcome is independent of the
+    worker count. *)
 
 val verify_fooled : space:Problems.Generators.Checkphi.space ->
   machine:Util.Bitstring.t Listmachine.Nlm.t -> outcome -> bool

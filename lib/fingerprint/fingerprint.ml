@@ -110,31 +110,46 @@ let amplified st ~rounds inst =
   let rec go r = if r = 0 then true else decide st inst && go (r - 1) in
   go rounds
 
-let false_positive_rate st ~m ~n ~trials =
-  let fp = ref 0 in
-  for _ = 1 to trials do
-    let inst =
-      Problems.Generators.no_instance st Problems.Decide.Multiset_equality ~m ~n
-    in
-    if decide st inst then incr fp
-  done;
-  float_of_int !fp /. float_of_int trials
+(* The Monte Carlo estimators fan their independent trials out over the
+   pool. The root seed is drawn from the caller's state (one pull, on
+   the calling domain), then each chunk of trials runs on its own
+   seed-split [Random.State] - so for a fixed caller state the estimate
+   is bit-identical for every worker count. *)
 
-let residue_collision_rate ?k st ~m ~n ~trials =
+let pool_of = function Some p -> p | None -> Parallel.Pool.default ()
+
+let false_positive_rate ?pool st ~m ~n ~trials =
+  let pool = pool_of pool in
+  let seed = Parallel.Rng.seed_of_state st in
+  let fp =
+    Parallel.Pool.monte_carlo_count pool ~trials ~seed (fun st ->
+        let inst =
+          Problems.Generators.no_instance st Problems.Decide.Multiset_equality
+            ~m ~n
+        in
+        decide st inst)
+  in
+  float_of_int fp /. float_of_int trials
+
+let residue_collision_rate ?k ?pool st ~m ~n ~trials =
   let k =
     match k with Some k -> max 2 k | None -> max 2 (N.fingerprint_k ~m ~n)
   in
-  let collisions = ref 0 in
-  for _ = 1 to trials do
-    let inst =
-      Problems.Generators.no_instance st Problems.Decide.Multiset_equality ~m ~n
-    in
-    let p = N.random_prime_le st k in
-    let residues half =
-      Array.map (fun v -> N.mod_of_bits v ~modulus:p) half |> Array.to_list
-      |> List.sort Int.compare
-    in
-    let xs = residues (I.xs inst) and ys = residues (I.ys inst) in
-    if xs = ys then incr collisions
-  done;
-  float_of_int !collisions /. float_of_int trials
+  let pool = pool_of pool in
+  let seed = Parallel.Rng.seed_of_state st in
+  let collisions =
+    Parallel.Pool.monte_carlo_count pool ~trials ~seed (fun st ->
+        let inst =
+          Problems.Generators.no_instance st Problems.Decide.Multiset_equality
+            ~m ~n
+        in
+        let p = N.random_prime_le st k in
+        let residues half =
+          Array.map (fun v -> N.mod_of_bits v ~modulus:p) half
+          |> Array.to_list
+          |> List.sort Int.compare
+        in
+        let xs = residues (I.xs inst) and ys = residues (I.ys inst) in
+        xs = ys)
+  in
+  float_of_int collisions /. float_of_int trials

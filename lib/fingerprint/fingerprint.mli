@@ -48,12 +48,17 @@ val amplified : Random.State.t -> rounds:int -> Problems.Instance.t -> bool
     @raise Invalid_argument if [rounds < 1]. *)
 
 val false_positive_rate :
-  Random.State.t -> m:int -> n:int -> trials:int -> float
+  ?pool:Parallel.Pool.t -> Random.State.t -> m:int -> n:int -> trials:int -> float
 (** Empirical false-positive rate over random {e unequal} instances
-    (one run each) — the experiment behind Claim 1 / Theorem 8(a). *)
+    (one run each) — the experiment behind Claim 1 / Theorem 8(a).
+    Trials fan out over [pool] (default {!Parallel.Pool.default}) with
+    seed-split generators: for a fixed caller state the estimate is
+    bit-identical for every worker count. *)
 
 val residue_collision_rate :
-  ?k:int -> Random.State.t -> m:int -> n:int -> trials:int -> float
+  ?k:int ->
+  ?pool:Parallel.Pool.t ->
+  Random.State.t -> m:int -> n:int -> trials:int -> float
 (** Claim 1 in isolation: the empirical probability that two distinct
     random [n]-bit values [v_i ≠ v'_j] in an unequal instance collide
     modulo a random prime [p ≤ k] (estimated over fresh instances and

@@ -14,6 +14,18 @@ let seed = [| 0xC0FFEE |]
 
 let fresh_state () = Random.State.make seed
 
+(* Trial fan-out: every table's Monte Carlo loop runs on the default
+   Domain pool (sized by -j / STLB_DOMAINS / the hardware). Root seeds
+   are drawn from the experiment state on the main domain, in row
+   order, and each chunk of trials gets a seed-split generator - so
+   table contents are bit-identical for every worker count. *)
+let pool () = Parallel.Pool.default ()
+
+let row_seed st = Parallel.Rng.seed_of_state st
+
+let count_hits f arr =
+  Array.fold_left (fun acc r -> if f r then acc + 1 else acc) 0 arr
+
 (* ------------------------------------------------------------------ *)
 
 let exp1 () =
@@ -28,38 +40,36 @@ let exp1 () =
       ~columns:
         [ "m"; "n"; "N"; "yes acc"; "false pos"; "95% CI"; "scans"; "int bits"; "tapes" ]
   in
+  let pool = pool () in
   List.iter
     (fun m ->
       let n = 12 in
       let trials = 300 in
-      let yes_ok = ref 0 in
-      let scans = ref 0 and bits = ref 0 and tapes = ref 0 and nsz = ref 0 in
-      for _ = 1 to trials do
-        let inst = G.yes_instance st D.Multiset_equality ~m ~n in
-        let ok, rep, params = Fingerprint.run st inst in
-        if ok then incr yes_ok;
-        scans := rep.Fingerprint.scans;
-        bits := rep.Fingerprint.internal_bits;
-        tapes := rep.Fingerprint.tapes;
-        nsz := params.Fingerprint.input_size
-      done;
-      let fp = ref 0 in
-      for _ = 1 to trials do
-        let inst = G.no_instance st D.Multiset_equality ~m ~n in
-        if Fingerprint.decide st inst then incr fp
-      done;
-      let lo, hi = Util.Stats.binomial_ci95 ~successes:!fp ~trials in
+      let yes =
+        Parallel.Pool.monte_carlo pool ~trials ~seed:(row_seed st) (fun st ->
+            let inst = G.yes_instance st D.Multiset_equality ~m ~n in
+            Fingerprint.run st inst)
+      in
+      let yes_ok = count_hits (fun (ok, _, _) -> ok) yes in
+      let _, rep, params = yes.(trials - 1) in
+      let fp =
+        Parallel.Pool.monte_carlo_count pool ~trials ~seed:(row_seed st)
+          (fun st ->
+            let inst = G.no_instance st D.Multiset_equality ~m ~n in
+            Fingerprint.decide st inst)
+      in
+      let lo, hi = Util.Stats.binomial_ci95 ~successes:fp ~trials in
       T.add_row t
         [
           string_of_int m;
           string_of_int n;
-          string_of_int !nsz;
-          T.fmt_ratio !yes_ok trials;
-          T.fmt_ratio !fp trials;
+          string_of_int params.Fingerprint.input_size;
+          T.fmt_ratio yes_ok trials;
+          T.fmt_ratio fp trials;
           Printf.sprintf "[%.3f,%.3f]" lo hi;
-          string_of_int !scans;
-          string_of_int !bits;
-          string_of_int !tapes;
+          string_of_int rep.Fingerprint.scans;
+          string_of_int rep.Fingerprint.internal_bits;
+          string_of_int rep.Fingerprint.tapes;
         ])
     [ 2; 4; 8; 16; 32 ];
   T.print t;
@@ -248,11 +258,12 @@ let exp5 () =
       let s = P.sortedness (P.reverse_binary m) in
       let rand_mean =
         let k = 20 in
-        let total = ref 0 in
-        for _ = 1 to k do
-          total := !total + P.sortedness (P.random st m)
-        done;
-        float_of_int !total /. float_of_int k
+        let total =
+          Parallel.Pool.monte_carlo_fold (pool ()) ~trials:k ~seed:(row_seed st)
+            ~init:0 ~combine:( + )
+            (fun st -> P.sortedness (P.random st m))
+        in
+        float_of_int total /. float_of_int k
       in
       T.add_row t
         [
@@ -395,30 +406,43 @@ let exp9 () =
           "m"; "stream N"; "XQuery = SET-EQ"; "XPath = nonsubset"; "stream scans";
         ]
   in
+  let pool = pool () in
   List.iter
     (fun m ->
       let trials = 20 in
-      let xq_ok = ref 0 and xp_ok = ref 0 and scans = ref 0 and nsz = ref 0 in
-      for _ = 1 to trials do
-        let inst, label = G.labelled st D.Set_equality ~m ~n:8 in
-        let doc = Xmlq.Doc.of_instance inst in
-        if Xmlq.Xquery.holds Xmlq.Xquery.theorem12_query doc = label then incr xq_ok;
-        let xs = Array.to_list (I.xs inst) and ys = Array.to_list (I.ys inst) in
-        let missing = List.exists (fun x -> not (List.mem x ys)) xs in
-        if Xmlq.Xpath.matches doc Xmlq.Xpath.figure1 = missing then incr xp_ok;
-        let stream = Xmlq.Doc.serialize doc in
-        let got, rep = Xmlq.Stream_filter.figure1_filter stream in
-        if got = missing then () else xp_ok := -1000;
-        scans := rep.Xmlq.Stream_filter.scans;
-        nsz := rep.Xmlq.Stream_filter.n
-      done;
+      let runs =
+        Parallel.Pool.monte_carlo pool ~trials ~seed:(row_seed st) (fun st ->
+            let inst, label = G.labelled st D.Set_equality ~m ~n:8 in
+            let doc = Xmlq.Doc.of_instance inst in
+            let xq_hit =
+              Xmlq.Xquery.holds Xmlq.Xquery.theorem12_query doc = label
+            in
+            let xs = Array.to_list (I.xs inst) and ys = Array.to_list (I.ys inst) in
+            let missing = List.exists (fun x -> not (List.mem x ys)) xs in
+            let xp_hit = Xmlq.Xpath.matches doc Xmlq.Xpath.figure1 = missing in
+            let stream = Xmlq.Doc.serialize doc in
+            let got, rep = Xmlq.Stream_filter.figure1_filter stream in
+            ( xq_hit,
+              xp_hit,
+              got = missing,
+              rep.Xmlq.Stream_filter.scans,
+              rep.Xmlq.Stream_filter.n ))
+      in
+      let xq_ok = count_hits (fun (h, _, _, _, _) -> h) runs in
+      let xp_ok =
+        (* any streaming-filter disagreement poisons the column *)
+        if Array.exists (fun (_, _, stream_ok, _, _) -> not stream_ok) runs then
+          -1000
+        else count_hits (fun (_, h, _, _, _) -> h) runs
+      in
+      let _, _, _, scans, nsz = runs.(trials - 1) in
       T.add_row t
         [
           string_of_int m;
-          string_of_int !nsz;
-          T.fmt_ratio !xq_ok trials;
-          T.fmt_ratio !xp_ok trials;
-          string_of_int !scans;
+          string_of_int nsz;
+          T.fmt_ratio xq_ok trials;
+          T.fmt_ratio xp_ok trials;
+          string_of_int scans;
         ])
     [ 4; 16; 64 ];
   T.print t;
@@ -436,35 +460,48 @@ let exp10 () =
       ~columns:
         [ "problem"; "m"; "scans"; "tapes"; "registers"; "complete"; "sound" ]
   in
+  let pool = pool () in
   List.iter
     (fun prob ->
       List.iter
         (fun m ->
           let trials = 20 in
-          let complete = ref 0 and sound = ref 0 in
-          let scans = ref 0 and tapes = ref 0 and regs = ref 0 in
-          for _ = 1 to trials do
-            let inst = G.yes_instance st prob ~m ~n:8 in
-            match Nst.prove prob inst with
-            | None -> ()
-            | Some cert ->
-                let ok, rep = Nst.verify prob inst cert in
-                if ok then incr complete;
-                scans := rep.Nst.scans;
-                tapes := rep.Nst.tapes;
-                regs := rep.Nst.internal_registers;
-                let bad = Nst.corrupt st Nst.Wrong_value cert in
-                if not (fst (Nst.verify prob inst bad)) then incr sound
-          done;
+          let runs =
+            Parallel.Pool.monte_carlo pool ~trials ~seed:(row_seed st)
+              (fun st ->
+                let inst = G.yes_instance st prob ~m ~n:8 in
+                match Nst.prove prob inst with
+                | None -> None
+                | Some cert ->
+                    let ok, rep = Nst.verify prob inst cert in
+                    let bad = Nst.corrupt st Nst.Wrong_value cert in
+                    let caught = not (fst (Nst.verify prob inst bad)) in
+                    Some (ok, caught, rep))
+          in
+          let complete =
+            count_hits (function Some (ok, _, _) -> ok | None -> false) runs
+          in
+          let sound =
+            count_hits (function Some (_, c, _) -> c | None -> false) runs
+          in
+          let scans, tapes, regs =
+            Array.fold_left
+              (fun acc r ->
+                match r with
+                | Some (_, _, rep) ->
+                    (rep.Nst.scans, rep.Nst.tapes, rep.Nst.internal_registers)
+                | None -> acc)
+              (0, 0, 0) runs
+          in
           T.add_row t
             [
               D.problem_name prob;
               string_of_int m;
-              string_of_int !scans;
-              string_of_int !tapes;
-              string_of_int !regs;
-              T.fmt_ratio !complete trials;
-              T.fmt_ratio !sound trials;
+              string_of_int scans;
+              string_of_int tapes;
+              string_of_int regs;
+              T.fmt_ratio complete trials;
+              T.fmt_ratio sound trials;
             ])
         [ 4; 16 ])
     D.all_problems;
@@ -594,14 +631,21 @@ let exp13 () =
          halves of two yes-instances stay a yes-instance?"
       ~columns:[ "problem"; "m"; "compositions still yes"; "adversary step" ]
   in
+  let pool = pool () in
+  (* fan the composition trials out one at a time: each pool trial runs
+     composition_preserves_yes for a single pair on its chunk state *)
+  let composed st ~problem ~m ~trials =
+    Parallel.Pool.monte_carlo_fold pool ~trials ~seed:(row_seed st) ~init:0
+      ~combine:( + )
+      (fun st ->
+        Problems.Disjoint.composition_preserves_yes st ~problem ~m ~n:(2 * m)
+          ~trials:1)
+  in
   List.iter
     (fun m ->
       let trials = 100 in
       let space = G.Checkphi.default_space ~m ~n:(2 * m) in
-      let cp =
-        Problems.Disjoint.composition_preserves_yes st ~problem:(`Checkphi space)
-          ~m ~n:(2 * m) ~trials
-      in
+      let cp = composed st ~problem:(`Checkphi space) ~m ~trials in
       T.add_row t
         [
           "CHECK-phi";
@@ -609,10 +653,7 @@ let exp13 () =
           T.fmt_ratio cp trials;
           "crossing BREAKS yes => fooling no-instance exists";
         ];
-      let dj =
-        Problems.Disjoint.composition_preserves_yes st ~problem:`Disjoint ~m
-          ~n:(2 * m) ~trials
-      in
+      let dj = composed st ~problem:`Disjoint ~m ~trials in
       T.add_row t
         [
           "DISJOINT-SETS";

@@ -97,20 +97,58 @@ let primes_upto n =
 
 let count_primes_upto n = List.length (primes_upto n)
 
+(* Per-k memo of the sieve, for the per-trial prime sampling of the
+   fingerprint experiments: the same k is drawn from hundreds of times
+   per table row, and rejection sampling re-runs Miller-Rabin on every
+   candidate. Above the threshold (where the sieve itself would cost
+   tens of MB) the rejection path is kept. The caches are shared across
+   domains, hence the mutex; a hit is one Hashtbl lookup. *)
+let prime_cache_threshold = 1 lsl 24
+
+let sieve_cache : (int, int array) Hashtbl.t = Hashtbl.create 8
+let bertrand_cache : (int, int) Hashtbl.t = Hashtbl.create 8
+let cache_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock cache_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_mutex) f
+
+let primes_le k =
+  if k < 2 then invalid_arg "Numtheory.primes_le: k < 2";
+  locked (fun () ->
+      match Hashtbl.find_opt sieve_cache k with
+      | Some a -> a
+      | None ->
+          (* sieve inside the lock: briefly serializing the domains
+             beats every one of them sieving the same k *)
+          let a = Array.of_list (primes_upto k) in
+          Hashtbl.add sieve_cache k a;
+          a)
+
 let random_prime_le st k =
   if k < 2 then invalid_arg "Numtheory.random_prime_le: k < 2";
-  let rec pick () =
-    let c = 2 + Random.State.full_int st (k - 1) in
-    if is_prime c then c else pick ()
-  in
-  pick ()
+  if k <= prime_cache_threshold then begin
+    let ps = primes_le k in
+    ps.(Random.State.full_int st (Array.length ps))
+  end
+  else begin
+    let rec pick () =
+      let c = 2 + Random.State.full_int st (k - 1) in
+      if is_prime c then c else pick ()
+    in
+    pick ()
+  end
 
 let bertrand_prime k =
   if k < 1 then invalid_arg "Numtheory.bertrand_prime: k < 1";
-  let p = next_prime (3 * k) in
-  (* Bertrand's postulate guarantees a prime in (3k, 6k]. *)
-  assert (p <= 6 * k);
-  p
+  match locked (fun () -> Hashtbl.find_opt bertrand_cache k) with
+  | Some p -> p
+  | None ->
+      let p = next_prime (3 * k) in
+      (* Bertrand's postulate guarantees a prime in (3k, 6k]. *)
+      assert (p <= 6 * k);
+      locked (fun () -> Hashtbl.replace bertrand_cache k p);
+      p
 
 let random_unit st p =
   if p < 2 then invalid_arg "Numtheory.random_unit: p < 2";

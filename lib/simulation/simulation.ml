@@ -156,23 +156,25 @@ let simulate ?(fuel = 1_000_000) tm ~inputs ~choices =
     agreement = (tm_stats.TM.outcome = TM.Accepted) = accepted;
   }
 
-let acceptance_agreement st ?(samples = 300) tm ~inputs =
-  let tm_hits = ref 0 and lm_hits = ref 0 in
-  for _ = 1 to samples do
-    let seed = Random.State.full_int st max_int in
-    let choices step =
-      (* splitmix-style mixing so low bits are unbiased *)
-      let z = ref (seed + (step * 0x9E3779B9) + 0x85EBCA6B) in
-      z := (!z lxor (!z lsr 16)) * 0x45D9F3B;
-      z := (!z lxor (!z lsr 16)) * 0x45D9F3B;
-      (!z lxor (!z lsr 16)) land max_int
-    in
-    let r = simulate tm ~inputs ~choices in
-    if r.tm_stats.TM.outcome = TM.Accepted then incr tm_hits;
-    if r.lm_trace.Nlm.accepted then incr lm_hits
-  done;
-  ( float_of_int !tm_hits /. float_of_int samples,
-    float_of_int !lm_hits /. float_of_int samples )
+let acceptance_agreement ?pool st ?(samples = 300) tm ~inputs =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
+  let root = Parallel.Rng.seed_of_state st in
+  let hits =
+    Parallel.Pool.monte_carlo pool ~trials:samples ~seed:root (fun st ->
+        let seed = Random.State.full_int st max_int in
+        let choices step =
+          (* splitmix-style mixing so low bits are unbiased *)
+          let z = ref (seed + (step * 0x9E3779B9) + 0x85EBCA6B) in
+          z := (!z lxor (!z lsr 16)) * 0x45D9F3B;
+          z := (!z lxor (!z lsr 16)) * 0x45D9F3B;
+          (!z lxor (!z lsr 16)) land max_int
+        in
+        let r = simulate tm ~inputs ~choices in
+        (r.tm_stats.TM.outcome = TM.Accepted, r.lm_trace.Nlm.accepted))
+  in
+  let count f = Array.fold_left (fun acc h -> if f h then acc + 1 else acc) 0 hits in
+  ( float_of_int (count fst) /. float_of_int samples,
+    float_of_int (count snd) /. float_of_int samples )
 
 let abstract_state_bound_log2 ~d ~t ~r ~s ~m ~n =
   let nn = float_of_int (m * (n + 1)) in

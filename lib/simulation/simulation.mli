@@ -52,6 +52,7 @@ val simulate :
     {!Turing.Machine.normalize}). *)
 
 val acceptance_agreement :
+  ?pool:Parallel.Pool.t ->
   Random.State.t ->
   ?samples:int ->
   Turing.Machine.t ->
@@ -59,7 +60,9 @@ val acceptance_agreement :
   float * float
 (** Estimated acceptance probabilities [(tm, lm)] over uniformly random
     choice sequences — equal in distribution by Lemma 16; the test
-    suite checks they coincide within sampling error. *)
+    suite checks they coincide within sampling error. Samples fan out
+    over [pool] (default {!Parallel.Pool.default}) with seed-split
+    generators, so the estimate is worker-count independent. *)
 
 val abstract_state_bound_log2 :
   d:int -> t:int -> r:int -> s:int -> m:int -> n:int -> float

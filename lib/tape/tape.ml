@@ -59,12 +59,13 @@ type 'a t = {
   mutable group : group_state option;
 }
 
-let fresh_counter = ref 0
+(* atomic: tapes are created from several domains at once under the
+   parallel harness, and a plain ref would race *)
+let fresh_counter = Atomic.make 0
 
 let create ?name ~blank () =
-  incr fresh_counter;
-  let name =
-    match name with Some n -> n | None -> Printf.sprintf "tape%d" !fresh_counter
+  let id = Atomic.fetch_and_add fresh_counter 1 + 1 in
+  let name = match name with Some n -> n | None -> Printf.sprintf "tape%d" id
   in
   {
     name;

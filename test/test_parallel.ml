@@ -1,0 +1,202 @@
+(* Tests for the Domain-based Monte Carlo pool: worker-count
+   determinism (the load-bearing property - every experiment table must
+   be bit-identical under -j 1 / -j 2 / -j 4), clean exception
+   propagation, and bit-for-bit parity of the parallel fingerprint
+   estimators with their sequential (1-domain) path. *)
+
+module Pool = Parallel.Pool
+module Rng = Parallel.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let pools () = List.map (fun d -> Pool.create ~domains:d ()) [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* seed splitting *)
+
+let test_rng_reproducible () =
+  List.iter
+    (fun (seed, index) ->
+      check "same (seed, index) -> same words" true
+        (Rng.derive ~seed ~index = Rng.derive ~seed ~index);
+      let a = Random.State.full_int (Rng.state ~seed ~index) max_int in
+      let b = Random.State.full_int (Rng.state ~seed ~index) max_int in
+      check_int "same (seed, index) -> same stream" a b)
+    [ (0, 0); (42, 0); (42, 17); (min_int, 3); (max_int, 1024) ]
+
+let test_rng_streams_distinct () =
+  (* neighbouring chunks and neighbouring seeds must not share streams *)
+  let draw seed index = Random.State.full_int (Rng.state ~seed ~index) max_int in
+  let all =
+    List.concat_map
+      (fun seed -> List.map (fun index -> draw seed index) [ 0; 1; 2; 3 ])
+      [ 0; 1; 2; 0xC0FFEE ]
+  in
+  let distinct = List.sort_uniq Int.compare all in
+  check_int "16 (seed, chunk) pairs -> 16 streams" (List.length all)
+    (List.length distinct)
+
+(* ------------------------------------------------------------------ *)
+(* (a) worker-count determinism *)
+
+let test_map_chunks_deterministic () =
+  let reference = Array.init 101 (fun i -> i * i) in
+  List.iter
+    (fun pool ->
+      let got = Pool.map_chunks pool ~chunks:101 (fun i -> i * i) in
+      check
+        (Printf.sprintf "map_chunks at %d domains" (Pool.domains pool))
+        true
+        (got = reference))
+    (pools ())
+
+let test_monte_carlo_deterministic () =
+  (* 103 trials is deliberately not a multiple of the chunk size *)
+  let run pool =
+    Pool.monte_carlo pool ~trials:103 ~seed:0xBEEF (fun st ->
+        Random.State.full_int st 1_000_000)
+  in
+  let reference = run (Pool.create ~domains:1 ()) in
+  check_int "one result per trial" 103 (Array.length reference);
+  List.iter
+    (fun pool ->
+      check
+        (Printf.sprintf "monte_carlo at %d domains" (Pool.domains pool))
+        true
+        (run pool = reference))
+    (pools ())
+
+let test_monte_carlo_fold_order () =
+  (* combine is order-sensitive; folding must follow trial order *)
+  let run pool =
+    Pool.monte_carlo_fold pool ~trials:80 ~seed:7 ~init:[]
+      ~combine:(fun acc r -> r :: acc)
+      (fun st -> Random.State.full_int st 1000)
+  in
+  let reference = run (Pool.create ~domains:1 ()) in
+  List.iter
+    (fun pool -> check "fold order" true (run pool = reference))
+    (pools ())
+
+let test_count_matches_array () =
+  List.iter
+    (fun pool ->
+      let hits =
+        Pool.monte_carlo pool ~trials:64 ~seed:3 (fun st -> Random.State.bool st)
+      in
+      let expected = Array.fold_left (fun a h -> if h then a + 1 else a) 0 hits in
+      check_int "count = fold of per-trial results" expected
+        (Pool.monte_carlo_count pool ~trials:64 ~seed:3 (fun st ->
+             Random.State.bool st)))
+    (pools ())
+
+(* ------------------------------------------------------------------ *)
+(* (b) exception propagation and clean shutdown *)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun pool ->
+      let raised =
+        try
+          ignore
+            (Pool.map_chunks pool ~chunks:32 (fun i ->
+                 if i = 13 then raise (Boom i) else i));
+          false
+        with Boom 13 -> true
+      in
+      check
+        (Printf.sprintf "Boom surfaces at %d domains" (Pool.domains pool))
+        true raised)
+    (pools ())
+
+let test_pool_survives_failure () =
+  (* after a raising job every domain has been joined; the same pool
+     value must keep working *)
+  let pool = Pool.create ~domains:4 () in
+  (try ignore (Pool.monte_carlo pool ~trials:60 ~seed:1 (fun _ -> raise Exit))
+   with Exit -> ());
+  let again = Pool.monte_carlo_count pool ~trials:60 ~seed:1 (fun st ->
+      Random.State.bool st)
+  in
+  check "pool usable after failure" true (again >= 0 && again <= 60)
+
+(* ------------------------------------------------------------------ *)
+(* (c) fingerprint estimators: parallel == sequential, bit for bit *)
+
+let test_false_positive_rate_parity () =
+  let rate pool =
+    Fingerprint.false_positive_rate ~pool
+      (Random.State.make [| 99 |])
+      ~m:8 ~n:10 ~trials:120
+  in
+  let seq = rate (Pool.create ~domains:1 ()) in
+  List.iter
+    (fun pool ->
+      check
+        (Printf.sprintf "false_positive_rate at %d domains" (Pool.domains pool))
+        true
+        (rate pool = seq))
+    (pools ())
+
+let test_residue_collision_rate_parity () =
+  let rate pool =
+    Fingerprint.residue_collision_rate ~pool
+      (Random.State.make [| 7 |])
+      ~m:4 ~n:8 ~trials:120
+  in
+  let seq = rate (Pool.create ~domains:1 ()) in
+  List.iter
+    (fun pool ->
+      check
+        (Printf.sprintf "residue_collision_rate at %d domains"
+           (Pool.domains pool))
+        true
+        (rate pool = seq))
+    (pools ())
+
+(* ------------------------------------------------------------------ *)
+
+let test_default_domains_positive () =
+  check "default >= 1" true (Pool.default_domains () >= 1);
+  Pool.set_default_domains 3;
+  check_int "-j override" 3 (Pool.default_domains ());
+  Pool.set_default_domains 0;
+  check_int "override clamped to 1" 1 (Pool.default_domains ())
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "reproducible" `Quick test_rng_reproducible;
+          Alcotest.test_case "streams distinct" `Quick test_rng_streams_distinct;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "map_chunks" `Quick test_map_chunks_deterministic;
+          Alcotest.test_case "monte_carlo" `Quick test_monte_carlo_deterministic;
+          Alcotest.test_case "fold order" `Quick test_monte_carlo_fold_order;
+          Alcotest.test_case "count" `Quick test_count_matches_array;
+        ] );
+      ( "failure",
+        [
+          Alcotest.test_case "exception propagates" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "pool survives" `Quick test_pool_survives_failure;
+        ] );
+      ( "fingerprint parity",
+        [
+          Alcotest.test_case "false_positive_rate" `Quick
+            test_false_positive_rate_parity;
+          Alcotest.test_case "residue_collision_rate" `Quick
+            test_residue_collision_rate_parity;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "default domains" `Quick
+            test_default_domains_positive;
+        ] );
+    ]
