@@ -8,10 +8,15 @@
      dune exec bench/main.exe -- micro --json PATH     - benches + per-table
                                                          wall clock, as JSON
      dune exec bench/main.exe -- -j 4 tables           - 4 worker domains
+     dune exec bench/main.exe -- --checkpoint DIR tables - journal/resume
 
    [-j N] sizes the Domain pool the Monte Carlo harness fans trials out
    over (default: STLB_DOMAINS, else the hardware); table contents are
-   bit-identical for every N. [micro --json PATH] writes the bench
+   bit-identical for every N. [--checkpoint DIR] journals each
+   completed table under DIR and replays journaled tables verbatim, so
+   an interrupted table sweep resumes where it was killed (it applies
+   to the experiment-table paths, not to micro benches, whose wall
+   clocks must be measured fresh). [micro --json PATH] writes the bench
    trajectory (Bechamel ns/run per micro-benchmark, wall-clock seconds
    per experiment table) so future perf PRs can diff against a
    committed baseline; [--quick] shrinks the Bechamel quota and skips
@@ -183,28 +188,36 @@ let run_micro ?json ~quick () =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [-j N] [expN | tables | micro [--json PATH] [--quick]]";
+    "usage: main.exe [-j N] [--checkpoint DIR] [expN | tables | micro \
+     [--json PATH] [--quick]]";
   exit 1
 
 let () =
-  (* strip [-j N] anywhere on the command line, then dispatch *)
-  let rec split_j acc = function
+  (* strip the global [-j N] / [--checkpoint DIR] options anywhere on
+     the command line, then dispatch *)
+  let checkpoint = ref None in
+  let rec split_global acc = function
     | "-j" :: n :: rest -> (
         match int_of_string_opt n with
         | Some d when d >= 1 ->
             Parallel.Pool.set_default_domains d;
-            split_j acc rest
+            split_global acc rest
         | _ -> usage ())
     | "-j" :: [] -> usage ()
-    | a :: rest -> split_j (a :: acc) rest
+    | "--checkpoint" :: dir :: rest ->
+        checkpoint := Some (Harness.Checkpoint.open_dir dir);
+        split_global acc rest
+    | "--checkpoint" :: [] -> usage ()
+    | a :: rest -> split_global (a :: acc) rest
     | [] -> List.rev acc
   in
-  let args = split_j [] (List.tl (Array.to_list Sys.argv)) in
+  let args = split_global [] (List.tl (Array.to_list Sys.argv)) in
+  let checkpoint = !checkpoint in
   match args with
   | [] ->
-      Harness.Experiments.run_all ();
+      Harness.Experiments.run_all ?checkpoint ();
       run_micro ~quick:false ()
-  | [ "tables" ] -> Harness.Experiments.run_all ()
+  | [ "tables" ] -> Harness.Experiments.run_all ?checkpoint ()
   | "micro" :: opts ->
       let rec parse json quick = function
         | "--json" :: path :: rest -> parse (Some path) quick rest
@@ -216,7 +229,7 @@ let () =
       run_micro ?json ~quick ()
   | [ name ] -> (
       match List.assoc_opt name Harness.Experiments.all with
-      | Some f -> f ()
+      | Some f -> Harness.Checkpoint.run checkpoint ~name f
       | None ->
           Printf.eprintf "unknown experiment %S; available: %s, tables, micro\n" name
             (String.concat ", " (List.map fst Harness.Experiments.all));

@@ -5,9 +5,14 @@
      gen         generate problem instances
      decide      run a decider (reference / sort / fingerprint / nst)
      adversary   run the Lemma 21 attack on a staircase list machine
-     experiment  run one (or all) of the E1..E12 experiment tables
+     experiment  run one (or all) of the E1..E16 experiment tables,
+                 optionally journaling/resuming via --checkpoint
      classes     print the paper's classification table
-     sortedness  sortedness of the reverse-binary permutation *)
+     sortedness  sortedness of the reverse-binary permutation
+
+   A run that trips an enforced resource budget (Tape.Budget_exceeded,
+   e.g. decide --max-scans) exits with status 10 and a one-line
+   diagnostic instead of an uncaught backtrace. *)
 
 open Cmdliner
 
@@ -85,14 +90,19 @@ let read_instance = function
   | None -> I.decode (String.trim (input_line stdin))
 
 let decide_cmd =
-  let run seed problem algorithm file =
+  let run seed problem algorithm file max_scans =
     let st = state_of seed in
     let inst = read_instance file in
+    let budget =
+      Option.map
+        (fun s -> { Tape.Group.max_scans = Some s; max_internal = None })
+        max_scans
+    in
     let verdict, resources =
       match algorithm with
       | `Reference -> (D.decide problem inst, "(in-memory reference)")
       | `Sort ->
-          let v, rep = Extsort.decide problem inst in
+          let v, rep = Extsort.decide ?budget problem inst in
           ( v,
             Printf.sprintf "scans=%d registers=%d tapes=%d" rep.Extsort.scans
               rep.Extsort.register_peak rep.Extsort.tapes )
@@ -135,9 +145,18 @@ let decide_cmd =
     let doc = "Instance file (first line, {0,1,#} encoding); stdin if omitted." in
     Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"FILE" ~doc)
   in
+  let max_scans_arg =
+    let doc =
+      "Enforce a scan budget on the sort decider: exceeding $(docv) scans \
+       aborts with exit status 10 (the O(log N) bound, made falsifiable)."
+    in
+    Arg.(value & opt (some int) None & info [ "max-scans" ] ~docv:"R" ~doc)
+  in
   let doc = "Decide an instance and report the measured resources." in
   Cmd.v (Cmd.info "decide" ~doc)
-    Term.(const run $ seed_arg $ problem_arg $ algorithm_arg $ file_arg)
+    Term.(
+      const run $ seed_arg $ problem_arg $ algorithm_arg $ file_arg
+      $ max_scans_arg)
 
 let adversary_cmd =
   let run seed jobs m chains optimistic =
@@ -180,23 +199,35 @@ let adversary_cmd =
     Term.(const run $ seed_arg $ jobs_arg $ m_arg 8 $ chains_arg $ optimistic_arg)
 
 let experiment_cmd =
-  let run jobs name =
+  let run jobs checkpoint name =
     apply_jobs jobs;
+    let checkpoint = Option.map Harness.Checkpoint.open_dir checkpoint in
     match name with
-    | "all" -> Harness.Experiments.run_all ()
+    | "all" -> Harness.Experiments.run_all ?checkpoint ()
     | name -> (
         match List.assoc_opt name Harness.Experiments.all with
-        | Some f -> f ()
+        | Some f -> Harness.Checkpoint.run checkpoint ~name f
         | None ->
-            Printf.eprintf "unknown experiment %S (exp1..exp15 or all)\n" name;
+            Printf.eprintf "unknown experiment %S (exp1..exp16 or all)\n" name;
             exit 1)
   in
   let name_arg =
-    let doc = "Experiment name: exp1..exp15, or all." in
+    let doc = "Experiment name: exp1..exp16, or all." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"NAME" ~doc)
   in
+  let checkpoint_arg =
+    let doc =
+      "Journal each completed table under $(docv) (created if missing) and \
+       replay journaled tables verbatim on the next run - an interrupted \
+       sweep resumes where it was killed with byte-identical output. \
+       Corrupt journal entries are detected by checksum, discarded with a \
+       warning, and recomputed."
+    in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc)
+  in
   let doc = "Run reproduction experiments (the EXPERIMENTS.md tables)." in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ jobs_arg $ name_arg)
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const run $ jobs_arg $ checkpoint_arg $ name_arg)
 
 let classes_cmd =
   let run () =
@@ -303,10 +334,15 @@ let () =
      - executable reproduction"
   in
   let info = Cmd.info "stlb" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            gen_cmd; decide_cmd; adversary_cmd; experiment_cmd; classes_cmd;
-            sortedness_cmd; trace_cmd; simulate_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        gen_cmd; decide_cmd; adversary_cmd; experiment_cmd; classes_cmd;
+        sortedness_cmd; trace_cmd; simulate_cmd;
+      ]
+  in
+  (* a tripped resource budget is a diagnosed outcome, not a crash *)
+  try exit (Cmd.eval ~catch:false group)
+  with Tape.Budget_exceeded msg ->
+    Printf.eprintf "stlb: budget exceeded: %s\n" msg;
+    exit 10

@@ -7,6 +7,7 @@ type report = {
   reversals : int;
   register_peak : int;
   tapes : int;
+  faults : int;
 }
 
 let seek tp target =
@@ -17,6 +18,22 @@ let seek tp target =
     Tape.move tp Tape.Left
   done
 
+(* Fault plumbing. Every phase below (a distribution pass, a merge
+   pass, a comparison scan) is restartable: it re-seeks its tapes and
+   rebuilds its registers from scratch, so wrapping it in [Retry.run]
+   survives injected [Faults.Transient_io] failures — and the re-seeks
+   go through the ordinary [move] calls, so recovery is charged honest
+   reversal costs by the tapes themselves. Fault-free runs ([?faults]
+   absent) skip the combinator entirely. *)
+
+let attach_opt faults tp =
+  match faults with None -> () | Some p -> Faults.attach_string p tp
+
+let phase ?faults ?retry ~label f =
+  match faults with
+  | None -> f ()
+  | Some p -> Faults.Retry.run ?policy:retry ~seed:(Faults.Plan.seed p) ~label f
+
 let read_at tp pos =
   seek tp pos;
   Tape.read tp
@@ -25,57 +42,65 @@ let write_at tp pos x =
   seek tp pos;
   Tape.write tp x
 
-let sort_tape g t ~len =
+let sort_tape ?faults ?retry g t ~len =
   let meter = Tape.Group.meter g in
   (* registers: run length, three stream indices, two run bounds *)
   Tape.Meter.with_units meter 6 (fun () ->
       let aux1 = Tape.Group.tape g ~name:(Tape.name t ^ "-aux1") ~blank:"" () in
       let aux2 = Tape.Group.tape g ~name:(Tape.name t ^ "-aux2") ~blank:"" () in
+      attach_opt faults aux1;
+      attach_opt faults aux2;
       let run = ref 1 in
       while !run < len do
-        (* distribute alternating runs of length !run onto aux1/aux2 *)
+        (* distribute alternating runs of length !run onto aux1/aux2;
+           a retry redistributes from the (unchanged) data tape *)
         let n1 = ref 0 and n2 = ref 0 in
-        for i = 0 to len - 1 do
-          let x = read_at t i in
-          if i / !run mod 2 = 0 then begin
-            write_at aux1 !n1 x;
-            incr n1
-          end
-          else begin
-            write_at aux2 !n2 x;
-            incr n2
-          end
-        done;
-        (* merge run pairs back onto t *)
-        let out = ref 0 in
-        let k = ref 0 in
-        while !out < len do
-          let lo1 = !k * !run and lo2 = !k * !run in
-          let hi1 = min (lo1 + !run) !n1 and hi2 = min (lo2 + !run) !n2 in
-          let i1 = ref lo1 and i2 = ref lo2 in
-          while !i1 < hi1 || !i2 < hi2 do
-            let take1 =
-              if !i2 >= hi2 then true
-              else if !i1 >= hi1 then false
-              else String.compare (read_at aux1 !i1) (read_at aux2 !i2) <= 0
-            in
-            if take1 then begin
-              write_at t !out (read_at aux1 !i1);
-              incr i1
-            end
-            else begin
-              write_at t !out (read_at aux2 !i2);
-              incr i2
-            end;
-            incr out
-          done;
-          incr k
-        done;
+        phase ?faults ?retry ~label:"sort-distribute" (fun () ->
+            n1 := 0;
+            n2 := 0;
+            for i = 0 to len - 1 do
+              let x = read_at t i in
+              if i / !run mod 2 = 0 then begin
+                write_at aux1 !n1 x;
+                incr n1
+              end
+              else begin
+                write_at aux2 !n2 x;
+                incr n2
+              end
+            done);
+        (* merge run pairs back onto t; a retry re-merges from the
+           (unchanged) aux tapes, rewriting t from position 0 *)
+        phase ?faults ?retry ~label:"sort-merge" (fun () ->
+            let out = ref 0 in
+            let k = ref 0 in
+            while !out < len do
+              let lo1 = !k * !run and lo2 = !k * !run in
+              let hi1 = min (lo1 + !run) !n1 and hi2 = min (lo2 + !run) !n2 in
+              let i1 = ref lo1 and i2 = ref lo2 in
+              while !i1 < hi1 || !i2 < hi2 do
+                let take1 =
+                  if !i2 >= hi2 then true
+                  else if !i1 >= hi1 then false
+                  else String.compare (read_at aux1 !i1) (read_at aux2 !i2) <= 0
+                in
+                if take1 then begin
+                  write_at t !out (read_at aux1 !i1);
+                  incr i1
+                end
+                else begin
+                  write_at t !out (read_at aux2 !i2);
+                  incr i2
+                end;
+                incr out
+              done;
+              incr k
+            done);
         run := !run * 2
       done;
-      seek t 0)
+      phase ?faults ?retry ~label:"sort-rewind" (fun () -> seek t 0))
 
-let sort_tape_k g t ~len ~ways =
+let sort_tape_k ?faults ?retry g t ~len ~ways =
   if ways < 2 then invalid_arg "Extsort.sort_tape_k: ways >= 2";
   let meter = Tape.Group.meter g in
   (* registers: run length, [ways] stream indices and bounds, counters *)
@@ -85,16 +110,20 @@ let sort_tape_k g t ~len ~ways =
             Tape.Group.tape g ~name:(Printf.sprintf "%s-aux%d" (Tape.name t) i)
               ~blank:"" ())
       in
+      Array.iter (attach_opt faults) aux;
       let run = ref 1 in
       while !run < len do
         (* distribute runs of length !run round-robin over the aux tapes *)
         let counts = Array.make ways 0 in
-        for i = 0 to len - 1 do
-          let w = i / !run mod ways in
-          write_at aux.(w) counts.(w) (read_at t i);
-          counts.(w) <- counts.(w) + 1
-        done;
+        phase ?faults ?retry ~label:"sort-distribute" (fun () ->
+            Array.fill counts 0 ways 0;
+            for i = 0 to len - 1 do
+              let w = i / !run mod ways in
+              write_at aux.(w) counts.(w) (read_at t i);
+              counts.(w) <- counts.(w) + 1
+            done);
         (* merge groups of [ways] runs back onto t *)
+        phase ?faults ?retry ~label:"sort-merge" (fun () ->
         let out = ref 0 in
         let k = ref 0 in
         while !out < len do
@@ -119,10 +148,10 @@ let sort_tape_k g t ~len ~ways =
             incr out
           done;
           incr k
-        done;
+        done);
         run := !run * ways
       done;
-      seek t 0)
+      phase ?faults ?retry ~label:"sort-rewind" (fun () -> seek t 0))
 
 let report_of ?(n_override = None) g n =
   let r = Tape.Group.report g in
@@ -132,125 +161,141 @@ let report_of ?(n_override = None) g n =
     reversals = r.Tape.Group.scans_used - 1;
     register_peak = r.Tape.Group.internal_peak_units;
     tapes = List.length r.Tape.Group.reversals_by_tape;
+    faults = Tape.Group.faults_injected g;
   }
 
-let sort ?budget items =
+let sort ?budget ?faults ?retry items =
   let g = Tape.Group.create ?budget () in
   let t = Tape.Group.tape_of_list g ~name:"data" ~blank:"" items in
+  attach_opt faults t;
   let len = List.length items in
-  if len > 1 then sort_tape g t ~len;
-  let out = List.init len (fun i -> read_at t i) in
+  if len > 1 then sort_tape ?faults ?retry g t ~len;
+  let out =
+    phase ?faults ?retry ~label:"sort-readback" (fun () ->
+        List.init len (fun i -> read_at t i))
+  in
   (out, report_of g len)
 
-let sort_k ~ways items =
+let sort_k ?faults ?retry ~ways items =
   let g = Tape.Group.create () in
   let t = Tape.Group.tape_of_list g ~name:"data" ~blank:"" items in
+  attach_opt faults t;
   let len = List.length items in
-  if len > 1 then sort_tape_k g t ~len ~ways;
-  let out = List.init len (fun i -> read_at t i) in
+  if len > 1 then sort_tape_k ?faults ?retry g t ~len ~ways;
+  let out =
+    phase ?faults ?retry ~label:"sort-readback" (fun () ->
+        List.init len (fun i -> read_at t i))
+  in
   (out, report_of g len)
 
 let items_of half = Array.to_list (Array.map B.to_string half)
 
-let check_sort ?budget inst =
+let instance_tapes ?faults g inst =
+  let tx = Tape.Group.tape_of_list g ~name:"xs" ~blank:"" (items_of (I.xs inst)) in
+  let ty = Tape.Group.tape_of_list g ~name:"ys" ~blank:"" (items_of (I.ys inst)) in
+  attach_opt faults tx;
+  attach_opt faults ty;
+  (tx, ty)
+
+let check_sort ?budget ?faults ?retry inst =
   let g = Tape.Group.create ?budget () in
   let meter = Tape.Group.meter g in
   let m = I.m inst in
-  let tx = Tape.Group.tape_of_list g ~name:"xs" ~blank:"" (items_of (I.xs inst)) in
-  let ty = Tape.Group.tape_of_list g ~name:"ys" ~blank:"" (items_of (I.ys inst)) in
-  if m > 1 then sort_tape g tx ~len:m;
+  let tx, ty = instance_tapes ?faults g inst in
+  if m > 1 then sort_tape ?faults ?retry g tx ~len:m;
   let ok =
     Tape.Meter.with_units meter 2 (fun () ->
-        let ok = ref true in
-        for i = 0 to m - 1 do
-          if not (String.equal (read_at tx i) (read_at ty i)) then ok := false
-        done;
-        !ok)
+        phase ?faults ?retry ~label:"compare" (fun () ->
+            let ok = ref true in
+            for i = 0 to m - 1 do
+              if not (String.equal (read_at tx i) (read_at ty i)) then ok := false
+            done;
+            !ok))
   in
   (ok, report_of g (I.size inst))
 
-let multiset_equality ?budget inst =
+let multiset_equality ?budget ?faults ?retry inst =
   let g = Tape.Group.create ?budget () in
   let meter = Tape.Group.meter g in
   let m = I.m inst in
-  let tx = Tape.Group.tape_of_list g ~name:"xs" ~blank:"" (items_of (I.xs inst)) in
-  let ty = Tape.Group.tape_of_list g ~name:"ys" ~blank:"" (items_of (I.ys inst)) in
+  let tx, ty = instance_tapes ?faults g inst in
   if m > 1 then begin
-    sort_tape g tx ~len:m;
-    sort_tape g ty ~len:m
+    sort_tape ?faults ?retry g tx ~len:m;
+    sort_tape ?faults ?retry g ty ~len:m
   end;
   let ok =
     Tape.Meter.with_units meter 2 (fun () ->
-        let ok = ref true in
-        for i = 0 to m - 1 do
-          if not (String.equal (read_at tx i) (read_at ty i)) then ok := false
-        done;
-        !ok)
+        phase ?faults ?retry ~label:"compare" (fun () ->
+            let ok = ref true in
+            for i = 0 to m - 1 do
+              if not (String.equal (read_at tx i) (read_at ty i)) then ok := false
+            done;
+            !ok))
   in
   (ok, report_of g (I.size inst))
 
-let set_equality ?budget inst =
+let set_equality ?budget ?faults ?retry inst =
   let g = Tape.Group.create ?budget () in
   let meter = Tape.Group.meter g in
   let m = I.m inst in
-  let tx = Tape.Group.tape_of_list g ~name:"xs" ~blank:"" (items_of (I.xs inst)) in
-  let ty = Tape.Group.tape_of_list g ~name:"ys" ~blank:"" (items_of (I.ys inst)) in
+  let tx, ty = instance_tapes ?faults g inst in
   if m > 1 then begin
-    sort_tape g tx ~len:m;
-    sort_tape g ty ~len:m
+    sort_tape ?faults ?retry g tx ~len:m;
+    sort_tape ?faults ?retry g ty ~len:m
   end;
   (* compare the deduplicated sorted streams with one carried item each *)
   let ok =
     Tape.Meter.with_units meter 4 (fun () ->
-        let next_distinct tp i =
-          (* first index > i whose item differs from item at i *)
-          let x = read_at tp i in
-          let j = ref (i + 1) in
-          while !j < m && String.equal (read_at tp !j) x do
-            incr j
-          done;
-          !j
-        in
-        let rec go i j =
-          if i >= m && j >= m then true
-          else if i >= m || j >= m then false
-          else if not (String.equal (read_at tx i) (read_at ty j)) then false
-          else go (next_distinct tx i) (next_distinct ty j)
-        in
-        go 0 0)
+        phase ?faults ?retry ~label:"compare" (fun () ->
+            let next_distinct tp i =
+              (* first index > i whose item differs from item at i *)
+              let x = read_at tp i in
+              let j = ref (i + 1) in
+              while !j < m && String.equal (read_at tp !j) x do
+                incr j
+              done;
+              !j
+            in
+            let rec go i j =
+              if i >= m && j >= m then true
+              else if i >= m || j >= m then false
+              else if not (String.equal (read_at tx i) (read_at ty j)) then false
+              else go (next_distinct tx i) (next_distinct ty j)
+            in
+            go 0 0))
   in
   (ok, report_of g (I.size inst))
 
-let decide ?budget problem inst =
+let decide ?budget ?faults ?retry problem inst =
   match problem with
-  | Problems.Decide.Set_equality -> set_equality ?budget inst
-  | Problems.Decide.Multiset_equality -> multiset_equality ?budget inst
-  | Problems.Decide.Check_sort -> check_sort ?budget inst
+  | Problems.Decide.Set_equality -> set_equality ?budget ?faults ?retry inst
+  | Problems.Decide.Multiset_equality -> multiset_equality ?budget ?faults ?retry inst
+  | Problems.Decide.Check_sort -> check_sort ?budget ?faults ?retry inst
 
-let disjoint ?budget inst =
+let disjoint ?budget ?faults ?retry inst =
   let g = Tape.Group.create ?budget () in
   let meter = Tape.Group.meter g in
   let m = I.m inst in
-  let tx = Tape.Group.tape_of_list g ~name:"xs" ~blank:"" (items_of (I.xs inst)) in
-  let ty = Tape.Group.tape_of_list g ~name:"ys" ~blank:"" (items_of (I.ys inst)) in
+  let tx, ty = instance_tapes ?faults g inst in
   if m > 1 then begin
-    sort_tape g tx ~len:m;
-    sort_tape g ty ~len:m
+    sort_tape ?faults ?retry g tx ~len:m;
+    sort_tape ?faults ?retry g ty ~len:m
   end;
   let ok =
     Tape.Meter.with_units meter 3 (fun () ->
-        let i = ref 0 and j = ref 0 in
-        let shared = ref false in
-        while !i < m && !j < m do
-          let c = String.compare (read_at tx !i) (read_at ty !j) in
-          if c = 0 then begin
-            shared := true;
-            i := m
-          end
-          else if c < 0 then incr i
-          else incr j
-        done;
-        not !shared)
+        phase ?faults ?retry ~label:"compare" (fun () ->
+            let i = ref 0 and j = ref 0 in
+            let shared = ref false in
+            while !i < m && !j < m do
+              let c = String.compare (read_at tx !i) (read_at ty !j) in
+              if c = 0 then begin
+                shared := true;
+                i := m
+              end
+              else if c < 0 then incr i
+              else incr j
+            done;
+            not !shared))
   in
   (ok, report_of g (I.size inst))
 

@@ -20,7 +20,17 @@
     [Tape.Group] budget turns every claimed resource bound into an
     {e enforced} one — exceeding it raises [Tape.Budget_exceeded]
     mid-run, which the tests use to demonstrate that O(log N) scans are
-    genuinely needed by this implementation. *)
+    genuinely needed by this implementation.
+
+    All deciders also accept an optional fault plan ([?faults]) and
+    retry policy ([?retry]). With a plan attached, every data and
+    auxiliary tape draws injected faults from the plan's deterministic
+    per-tape streams, and each restartable phase (a distribution pass,
+    a merge pass, a comparison scan) runs under [Faults.Retry.run]: a
+    transient I/O fault re-runs the phase from scratch, re-seeking the
+    tapes through ordinary [move] calls so recovery pays honest
+    reversal costs. Without [?faults] the retry machinery is skipped
+    entirely and behaviour is bit-identical to the pre-fault code. *)
 
 type report = {
   n : int;  (** input size [N] of the instance (or item count for raw sorts) *)
@@ -28,16 +38,24 @@ type report = {
   reversals : int;
   register_peak : int;  (** internal-memory meter peak *)
   tapes : int;  (** number of external tapes used *)
+  faults : int;  (** injected faults over all tapes (0 without a plan) *)
 }
 
 val sort_tape :
+  ?faults:Faults.Plan.t ->
+  ?retry:Faults.Retry.policy ->
   Tape.Group.t -> string Tape.t -> len:int -> unit
 (** [sort_tape g t ~len] sorts the first [len] cells of [t]
     (lexicographically ascending, the CHECK-SORT order) in place, using
     two auxiliary tapes registered in [g]. The head is left at
-    position 0. *)
+    position 0. [?faults] attaches the plan to the auxiliary tapes it
+    creates (the caller attaches it to [t]) and wraps each pass in
+    retries. *)
 
-val sort_tape_k : Tape.Group.t -> string Tape.t -> len:int -> ways:int -> unit
+val sort_tape_k :
+  ?faults:Faults.Plan.t ->
+  ?retry:Faults.Retry.policy ->
+  Tape.Group.t -> string Tape.t -> len:int -> ways:int -> unit
 (** [ways]-way balanced merge sort ([ways ≥ 2]; {!sort_tape} is the
     2-way case): [ways] auxiliary tapes, [⌈log_ways len⌉] passes. The
     ablation experiment (E14) measures the scan trade-off: more tapes
@@ -47,30 +65,56 @@ val sort_tape_k : Tape.Group.t -> string Tape.t -> len:int -> ways:int -> unit
     reduces scans until the per-pass constant dominates.
     @raise Invalid_argument if [ways < 2]. *)
 
-val sort_k : ways:int -> string list -> string list * report
+val sort_k :
+  ?faults:Faults.Plan.t ->
+  ?retry:Faults.Retry.policy ->
+  ways:int -> string list -> string list * report
 (** Wrapper over {!sort_tape_k} with measured resources. *)
 
-val sort : ?budget:Tape.Group.budget -> string list -> string list * report
+val sort :
+  ?budget:Tape.Group.budget ->
+  ?faults:Faults.Plan.t ->
+  ?retry:Faults.Retry.policy ->
+  string list -> string list * report
 (** Convenience wrapper: sort a list of items through the tape
     machinery and report the measured resources. *)
 
-val check_sort : ?budget:Tape.Group.budget -> Problems.Instance.t -> bool * report
+val check_sort :
+  ?budget:Tape.Group.budget ->
+  ?faults:Faults.Plan.t ->
+  ?retry:Faults.Retry.policy ->
+  Problems.Instance.t -> bool * report
 (** Corollary 7 algorithm for CHECK-SORT: sort the first half, then a
     single parallel scan against the second half. *)
 
-val multiset_equality : ?budget:Tape.Group.budget -> Problems.Instance.t -> bool * report
+val multiset_equality :
+  ?budget:Tape.Group.budget ->
+  ?faults:Faults.Plan.t ->
+  ?retry:Faults.Retry.policy ->
+  Problems.Instance.t -> bool * report
 (** Sort both halves, compare pointwise. *)
 
-val set_equality : ?budget:Tape.Group.budget -> Problems.Instance.t -> bool * report
+val set_equality :
+  ?budget:Tape.Group.budget ->
+  ?faults:Faults.Plan.t ->
+  ?retry:Faults.Retry.policy ->
+  Problems.Instance.t -> bool * report
 (** Sort both halves, compare with on-the-fly duplicate elimination
     (one carried item per stream). *)
 
 val decide :
-  ?budget:Tape.Group.budget -> Problems.Decide.problem -> Problems.Instance.t ->
+  ?budget:Tape.Group.budget ->
+  ?faults:Faults.Plan.t ->
+  ?retry:Faults.Retry.policy ->
+  Problems.Decide.problem -> Problems.Instance.t ->
   bool * report
 (** Dispatch on the problem. *)
 
-val disjoint : ?budget:Tape.Group.budget -> Problems.Instance.t -> bool * report
+val disjoint :
+  ?budget:Tape.Group.budget ->
+  ?faults:Faults.Plan.t ->
+  ?retry:Faults.Retry.policy ->
+  Problems.Instance.t -> bool * report
 (** The DISJOINT-SETS problem (the paper's Section 9 open case): sort
     both halves, one merge scan looking for a common element. The same
     [O(log N)] scans / O(1) registers envelope as the Corollary 7

@@ -1,0 +1,172 @@
+(* Deterministic fault injection for the tape substrate, plus the
+   retry/backoff combinators the deciders use to survive it.
+
+   The whole module is seeded: a [Plan] derives one private
+   [Random.State] per tape from [(plan seed, tape name)] by the same
+   splitmix64 finalizer [lib/parallel] uses for chunk seeding — never
+   from allocation order, wall clock or worker count — so a faulty run
+   is bit-identical under -j 1 / -j 2 / -j 4, exactly like a clean
+   one. *)
+
+exception Transient_io of string
+
+type rates = {
+  bit_flip : float;
+  stuck_read : float;
+  torn_write : float;
+  transient : float;
+}
+
+let zero = { bit_flip = 0.0; stuck_read = 0.0; torn_write = 0.0; transient = 0.0 }
+
+let check_rate label r =
+  if not (r >= 0.0 && r <= 1.0) then
+    invalid_arg (Printf.sprintf "Faults: %s rate %g outside [0,1]" label r)
+
+module Plan = struct
+  type t = { seed : int; rates : rates }
+
+  let create ~seed ~rates =
+    check_rate "bit_flip" rates.bit_flip;
+    check_rate "stuck_read" rates.stuck_read;
+    check_rate "torn_write" rates.torn_write;
+    check_rate "transient" rates.transient;
+    { seed; rates }
+
+  let seed t = t.seed
+  let rates t = t.rates
+
+  (* FNV-1a over the tape name folded into the plan seed, finalized by
+     splitmix64 into the four words a [Random.State] wants. The name is
+     the only per-tape input: tapes created in any order, on any
+     domain, with the same name draw the same fault stream. *)
+  let derive t ~name =
+    let h = ref (Int64.of_int t.seed) in
+    String.iter
+      (fun c ->
+        h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+      name;
+    Array.init 4 (fun i ->
+        let word =
+          Parallel.Rng.mix64
+            (Int64.add !h (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L))
+        in
+        Int64.to_int (Int64.logand word 0x3FFFFFFFFFFFFFFFL))
+
+  let tape_state t ~name = Random.State.make (derive t ~name)
+end
+
+(* ------------------------------------------------------------------ *)
+(* corruptors *)
+
+let flip01 _st c =
+  match c with '0' -> '1' | '1' -> '0' | c -> c
+
+let flip_string_bit st s =
+  if String.length s = 0 then s
+  else begin
+    let i = Random.State.int st (String.length s) in
+    let b = Bytes.of_string s in
+    (* xor of the low bit always changes the byte and keeps the {0,1}
+       and decimal-digit alphabets inside themselves *)
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+    Bytes.to_string b
+  end
+
+(* ------------------------------------------------------------------ *)
+(* attaching a plan to a tape *)
+
+let hit st p = p > 0.0 && Random.State.float st 1.0 < p
+
+let injection plan ~name ~blank ~corrupt =
+  let st = Plan.tape_state plan ~name in
+  let r = plan.Plan.rates in
+  let transient op = Transient_io (Printf.sprintf "%s: transient %s fault" name op) in
+  {
+    Tape.Injection.on_read =
+      (fun ~pos:_ v ->
+        if hit st r.transient then Tape.Injection.Read_fail (transient "read")
+        else if hit st r.stuck_read then Tape.Injection.Read_value blank
+        else if hit st r.bit_flip then Tape.Injection.Read_value (corrupt st v)
+        else Tape.Injection.Read_ok);
+    on_write =
+      (fun ~pos:_ v ->
+        if hit st r.transient then Tape.Injection.Write_fail (transient "write")
+        else if hit st r.torn_write then Tape.Injection.Write_drop
+        else if hit st r.bit_flip then Tape.Injection.Write_value (corrupt st v)
+        else Tape.Injection.Write_ok);
+    on_move =
+      (fun ~pos:_ _dir ->
+        if hit st r.transient then Tape.Injection.Move_fail (transient "seek")
+        else Tape.Injection.Move_ok);
+  }
+
+let attach plan ~corrupt tp =
+  Tape.set_injection tp
+    (Some (injection plan ~name:(Tape.name tp) ~blank:(Tape.blank tp) ~corrupt))
+
+let attach_char plan tp = attach plan ~corrupt:flip01 tp
+let attach_string plan tp = attach plan ~corrupt:flip_string_bit tp
+
+(* ------------------------------------------------------------------ *)
+(* retry/backoff *)
+
+module Retry = struct
+  type classification = Transient | Fatal
+
+  type policy = {
+    attempts : int;
+    base_backoff_s : float;
+    sleep : float -> unit;
+    classify : exn -> classification;
+  }
+
+  exception Gave_up of { label : string; attempts : int; last : exn }
+
+  let classify_default = function Transient_io _ -> Transient | _ -> Fatal
+  let is_transient e = classify_default e = Transient
+
+  let default =
+    {
+      attempts = 3;
+      base_backoff_s = 0.0;
+      sleep = (fun _ -> ());
+      classify = classify_default;
+    }
+
+  (* Exponential backoff with a deterministic jitter in [1, 2): the
+     jitter is splitmix64 of (seed, attempt), never a clock or a shared
+     RNG, so two runs of the same plan back off identically. *)
+  let backoff policy ~seed ~attempt =
+    if policy.base_backoff_s <= 0.0 then 0.0
+    else begin
+      let word =
+        Parallel.Rng.mix64
+          (Int64.add (Int64.of_int seed)
+             (Int64.mul (Int64.of_int (attempt + 1)) 0x9E3779B97F4A7C15L))
+      in
+      let jitter =
+        Int64.to_float (Int64.logand word 0xFFFFFFL) /. float_of_int 0x1000000
+      in
+      policy.base_backoff_s *. (2.0 ** float_of_int (attempt - 1)) *. (1.0 +. jitter)
+    end
+
+  let run ?(policy = default) ?(seed = 0) ?(label = "operation") ?on_retry f =
+    if policy.attempts < 1 then invalid_arg "Faults.Retry.run: attempts >= 1";
+    let rec go attempt =
+      try f ()
+      with e -> (
+        match policy.classify e with
+        | Fatal -> raise e
+        | Transient ->
+            if attempt >= policy.attempts then
+              raise (Gave_up { label; attempts = policy.attempts; last = e })
+            else begin
+              (match on_retry with Some h -> h ~attempt e | None -> ());
+              let d = backoff policy ~seed ~attempt in
+              if d > 0.0 then policy.sleep d;
+              go (attempt + 1)
+            end)
+    in
+    go 1
+end

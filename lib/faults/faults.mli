@@ -1,0 +1,130 @@
+(** Deterministic, seeded fault injection for the tape substrate.
+
+    The paper's model is a model of real external-memory I/O
+    (Grohe–Koch–Schweikardt, arXiv:cs/0505002), where silent corruption
+    and partial failure are the norm — this module makes the substrate
+    hostile on purpose. A {!Plan} fixes a root seed and per-operation
+    fault rates; attaching it to a tape installs a {!Tape.Injection}
+    hook that flips cell values on read/write, sticks reads at the
+    blank symbol, drops (tears) writes, and raises {!Transient_io} from
+    any operation. Everything is derived from [(plan seed, tape name)]
+    by the same splitmix64 scheme [lib/parallel] uses for chunk
+    seeding, so a faulty run is bit-identical for every worker count —
+    the E16 experiment and [test/test_faults.ml] pin this down.
+
+    {!Retry} provides the recovery side: bounded attempts with
+    deterministic jittered exponential backoff and
+    transient-versus-fatal exception classification. The extsort merge
+    passes and fingerprint scans wrap their restartable phases in
+    {!Retry.run}; a retried scan re-walks its tape through the ordinary
+    [move] calls, so recovery is charged honest reversal costs. *)
+
+exception Transient_io of string
+(** A fault that a retry may clear (the injected model of a failed
+    disk/network operation). Classified [Transient] by
+    {!Retry.classify_default}. *)
+
+(** Per-operation fault probabilities, each in [[0, 1]]. *)
+type rates = {
+  bit_flip : float;  (** corrupt the value seen by a read / written by a write *)
+  stuck_read : float;  (** a read returns the blank symbol instead *)
+  torn_write : float;  (** a write is silently dropped *)
+  transient : float;  (** read/write/move raises {!Transient_io} *)
+}
+
+val zero : rates
+(** All rates 0 — attaching this plan never injects anything (and
+    draws no randomness, so it is observationally identical to not
+    attaching a plan at all). *)
+
+(** A seeded fault plan: the pure data determining every fault of a
+    run. *)
+module Plan : sig
+  type t
+
+  val create : seed:int -> rates:rates -> t
+  (** @raise Invalid_argument if any rate is outside [[0, 1]]. *)
+
+  val seed : t -> int
+  val rates : t -> rates
+
+  val derive : t -> name:string -> int array
+  (** The four seed words for tape [name]'s private fault stream:
+      FNV-1a of the name folded into the plan seed, finalized by
+      splitmix64. Depends on nothing but [(seed t, name)] — exposed for
+      the determinism tests. *)
+
+  val tape_state : t -> name:string -> Random.State.t
+  (** [Random.State.make (derive t ~name)]. *)
+end
+
+val attach : Plan.t -> corrupt:(Random.State.t -> 'a -> 'a) -> 'a Tape.t -> unit
+(** Install the plan's injection hook on a tape. [corrupt] produces the
+    value a corrupted read/write sees, drawing any choices from the
+    tape's private fault stream. The hook keys on {!Tape.name}, so give
+    tapes stable explicit names — auto-generated [tapeN] names depend
+    on allocation order and would break cross-worker determinism. *)
+
+val attach_char : Plan.t -> char Tape.t -> unit
+(** {!attach} with {!flip01}: value corruption on [{0,1}] cells that
+    never damages ['#'] separators or blanks. *)
+
+val attach_string : Plan.t -> string Tape.t -> unit
+(** {!attach} with {!flip_string_bit}. *)
+
+val flip01 : Random.State.t -> char -> char
+(** ['0' ↔ '1']; any other symbol is left alone. *)
+
+val flip_string_bit : Random.State.t -> string -> string
+(** Flip the low bit of one uniformly chosen byte (the empty string is
+    returned unchanged). On the {0,1}-string items of an instance this
+    is exactly a one-bit value corruption. *)
+
+(** Bounded retry with deterministic backoff — the recovery combinators
+    used by the extsort and fingerprint scan phases. *)
+module Retry : sig
+  type classification = Transient | Fatal
+
+  type policy = {
+    attempts : int;  (** total attempts, including the first ([≥ 1]) *)
+    base_backoff_s : float;  (** 0 disables backoff entirely *)
+    sleep : float -> unit;
+        (** how to spend the backoff; defaults to a no-op so simulated
+            faults never slow a test suite down *)
+    classify : exn -> classification;
+  }
+
+  exception Gave_up of { label : string; attempts : int; last : exn }
+  (** Raised — and classified fatal — once all attempts failed on
+      transient errors. [last] is the final transient exception. *)
+
+  val default : policy
+  (** 3 attempts, no backoff, {!classify_default}. *)
+
+  val classify_default : exn -> classification
+  (** {!Transient_io} is [Transient]; everything else — including
+      {!Gave_up} and {!Tape.Budget_exceeded} — is [Fatal]. *)
+
+  val is_transient : exn -> bool
+
+  val backoff : policy -> seed:int -> attempt:int -> float
+  (** Backoff before retrying [attempt] (1-based):
+      [base · 2^(attempt−1) · (1 + jitter)] with the jitter in [[0, 1)]
+      derived by splitmix64 from [(seed, attempt)] — deterministic, so
+      identically seeded runs back off identically. *)
+
+  val run :
+    ?policy:policy ->
+    ?seed:int ->
+    ?label:string ->
+    ?on_retry:(attempt:int -> exn -> unit) ->
+    (unit -> 'a) ->
+    'a
+  (** Run [f], retrying on [Transient]-classified exceptions up to
+      [policy.attempts] total attempts with {!backoff} between them.
+      Fatal exceptions propagate immediately; exhausting the attempts
+      raises {!Gave_up}. [f] must be restartable: each attempt must
+      redo any state the previous one half-built (the tape-walking
+      callers restart by rewinding, which charges honest reversals).
+      [on_retry] is called before each re-attempt. *)
+end

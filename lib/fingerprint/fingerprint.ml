@@ -11,11 +11,21 @@ type params = {
   x : int;
 }
 
-type report = { scans : int; internal_bits : int; tapes : int }
+type report = { scans : int; internal_bits : int; tapes : int; faults : int }
 
 let bits_of v = max 1 (int_of_float (ceil (log (float_of_int (max 2 v)) /. log 2.0)))
 
-let run st inst =
+(* Fault plumbing (see [lib/faults]): both scans are restartable — a
+   retry rewinds (scan 1) or re-seeks to the right end (scan 2) through
+   ordinary [move] calls, charging honest reversal costs, and rebuilds
+   its registers from scratch. Fault-free runs skip the combinator and
+   are bit-identical to the pre-fault code. *)
+let phase ?faults ?retry ~label f =
+  match faults with
+  | None -> f ()
+  | Some p -> Faults.Retry.run ?policy:retry ~seed:(Faults.Plan.seed p) ~label f
+
+let run ?faults ?retry st inst =
   let g = Tape.Group.create () in
   let meter = Tape.Group.meter g in
   let encoded = I.encode inst in
@@ -23,17 +33,30 @@ let run st inst =
     Tape.Group.tape_of_list g ~name:"input" ~blank:'_'
       (List.init (String.length encoded) (String.get encoded))
   in
+  (match faults with None -> () | Some p -> Faults.attach_char p tape);
+  (* Under injection a read may return any symbol (a stuck read shows
+     the blank); parse leniently then instead of rejecting the input. *)
+  let strict = faults = None in
+  let len0 = String.length encoded in
   (* ---- scan 1 (forward): determine m, n, N ---- *)
   let hashes = ref 0 and cur = ref 0 and maxlen = ref 0 and total = ref 0 in
-  Tape.iter_right tape (fun c ->
-      incr total;
-      match c with
-      | '#' ->
-          incr hashes;
-          if !cur > !maxlen then maxlen := !cur;
-          cur := 0
-      | '0' | '1' -> incr cur
-      | _ -> invalid_arg "Fingerprint.run: bad input symbol");
+  phase ?faults ?retry ~label:"fp-scan1" (fun () ->
+      Tape.rewind tape;
+      hashes := 0;
+      cur := 0;
+      maxlen := 0;
+      total := 0;
+      for _ = 1 to len0 do
+        (incr total;
+         match Tape.read tape with
+         | '#' ->
+             incr hashes;
+             if !cur > !maxlen then maxlen := !cur;
+             cur := 0
+         | '0' | '1' -> incr cur
+         | _ -> if strict then invalid_arg "Fingerprint.run: bad input symbol");
+        Tape.move tape Tape.Right
+      done);
   let m = !hashes / 2 in
   let n = max 1 !maxlen in
   let input_size = !total in
@@ -51,46 +74,51 @@ let run st inst =
   let reg_bits = 11 * bits_of (6 * k) in
   let accept =
     Tape.Meter.with_units meter reg_bits (fun () ->
-        (* ---- scan 2 (backward): accumulate the two sums ---- *)
-        (* The head is one past the last cell after scan 1; strings come
-           in reverse order, bits LSB-first: e = Σ b_j·2^j mod p1. *)
-        let sum_y = ref 0 and sum_x = ref 0 in
-        let e = ref 0 and pw = ref (1 mod p1) in
-        let seen = ref 0 in
-        (* strings 2m..m+1 belong to the y-half in backward order *)
-        let flush () =
-          incr seen;
-          let contribution = N.pow_mod x !e p2 in
-          if !seen <= m then sum_y := N.add_mod !sum_y contribution p2
-          else sum_x := N.add_mod !sum_x contribution p2;
-          e := 0;
-          pw := 1 mod p1
-        in
-        (* Walking leftward, each '#' precedes (in reading order) the
-           bits of the string it terminates, so a '#' closes the string
-           accumulated since the previous marker — except the first
-           (rightmost) marker, which opens the very last string. The
-           leftmost string is closed at the left end of the tape. *)
-        let markers = ref 0 in
-        let continue_ = ref (not (Tape.at_left_end tape)) in
-        if !continue_ then Tape.move tape Tape.Left;
-        while !continue_ do
-          (match Tape.read tape with
-          | '#' ->
-              incr markers;
-              if !markers > 1 then flush ()
-          | '0' -> pw := N.add_mod !pw !pw p1
-          | '1' ->
-              e := N.add_mod !e !pw p1;
-              pw := N.add_mod !pw !pw p1
-          | _ -> ());
-          if Tape.at_left_end tape then begin
-            continue_ := false;
-            if m > 0 && !seen < 2 * m then flush ()
-          end
-          else Tape.move tape Tape.Left
-        done;
-        !sum_x = !sum_y)
+        phase ?faults ?retry ~label:"fp-scan2" (fun () ->
+            (* ---- scan 2 (backward): accumulate the two sums ---- *)
+            (* The head is one past the last cell after scan 1 (a retry
+               re-seeks it there, paying the reversals); strings come in
+               reverse order, bits LSB-first: e = Σ b_j·2^j mod p1. *)
+            while Tape.position tape < len0 do
+              Tape.move tape Tape.Right
+            done;
+            let sum_y = ref 0 and sum_x = ref 0 in
+            let e = ref 0 and pw = ref (1 mod p1) in
+            let seen = ref 0 in
+            (* strings 2m..m+1 belong to the y-half in backward order *)
+            let flush () =
+              incr seen;
+              let contribution = N.pow_mod x !e p2 in
+              if !seen <= m then sum_y := N.add_mod !sum_y contribution p2
+              else sum_x := N.add_mod !sum_x contribution p2;
+              e := 0;
+              pw := 1 mod p1
+            in
+            (* Walking leftward, each '#' precedes (in reading order) the
+               bits of the string it terminates, so a '#' closes the string
+               accumulated since the previous marker — except the first
+               (rightmost) marker, which opens the very last string. The
+               leftmost string is closed at the left end of the tape. *)
+            let markers = ref 0 in
+            let continue_ = ref (not (Tape.at_left_end tape)) in
+            if !continue_ then Tape.move tape Tape.Left;
+            while !continue_ do
+              (match Tape.read tape with
+              | '#' ->
+                  incr markers;
+                  if !markers > 1 then flush ()
+              | '0' -> pw := N.add_mod !pw !pw p1
+              | '1' ->
+                  e := N.add_mod !e !pw p1;
+                  pw := N.add_mod !pw !pw p1
+              | _ -> ());
+              if Tape.at_left_end tape then begin
+                continue_ := false;
+                if m > 0 && !seen < 2 * m then flush ()
+              end
+              else Tape.move tape Tape.Left
+            done;
+            !sum_x = !sum_y))
   in
   let grp = Tape.Group.report g in
   ( accept,
@@ -98,11 +126,12 @@ let run st inst =
       scans = grp.Tape.Group.scans_used;
       internal_bits = grp.Tape.Group.internal_peak_units;
       tapes = List.length grp.Tape.Group.reversals_by_tape;
+      faults = Tape.Group.faults_injected g;
     },
     { m; n; input_size; k; p1; p2; x } )
 
-let decide st inst =
-  let accept, _, _ = run st inst in
+let decide ?faults ?retry st inst =
+  let accept, _, _ = run ?faults ?retry st inst in
   accept
 
 let amplified st ~rounds inst =

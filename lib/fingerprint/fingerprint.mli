@@ -30,15 +30,30 @@ type params = {
 }
 
 type report = {
-  scans : int;  (** measured on the tape group; always 2 *)
+  scans : int;  (** measured on the tape group; always 2 when fault-free *)
   internal_bits : int;  (** meter peak, in bits *)
   tapes : int;  (** always 1 *)
+  faults : int;  (** injected faults on the input tape (0 without a plan) *)
 }
 
-val run : Random.State.t -> Problems.Instance.t -> bool * report * params
-(** Execute the algorithm on the encoded instance. *)
+val run :
+  ?faults:Faults.Plan.t ->
+  ?retry:Faults.Retry.policy ->
+  Random.State.t -> Problems.Instance.t -> bool * report * params
+(** Execute the algorithm on the encoded instance. With a fault plan
+    attached ([?faults]) the input tape draws injected faults from the
+    plan's deterministic per-tape stream, the parser treats corrupted
+    symbols leniently (a stuck read shows the blank), and each scan
+    runs under [Faults.Retry.run]: a transient I/O fault restarts the
+    scan from its end of the tape, re-seeking through ordinary [move]
+    calls so recovery pays honest reversal costs (visible in
+    [report.scans]). Without [?faults], behaviour is bit-identical to
+    the fault-free code. *)
 
-val decide : Random.State.t -> Problems.Instance.t -> bool
+val decide :
+  ?faults:Faults.Plan.t ->
+  ?retry:Faults.Retry.policy ->
+  Random.State.t -> Problems.Instance.t -> bool
 (** Just the answer. *)
 
 val amplified : Random.State.t -> rounds:int -> Problems.Instance.t -> bool

@@ -18,7 +18,9 @@
     - E13: Section 9 open problem — why composition fails for
       DISJOINT-SETS
     - E14: ablation — k-way merge arity vs scans
-    - E15: ablation — Claim 1's prime-range size vs collision rate *)
+    - E15: ablation — Claim 1's prime-range size vs collision rate
+    - E16: robustness — fault-injection detection rates and transient
+      survival under retry (see [lib/faults]) *)
 
 val exp1 : unit -> unit
 val exp2 : unit -> unit
@@ -35,9 +37,14 @@ val exp12 : unit -> unit
 val exp13 : unit -> unit
 val exp14 : unit -> unit
 val exp15 : unit -> unit
+val exp16 : unit -> unit
 
 val all : (string * (unit -> unit)) list
 (** [("exp1", exp1); …] in order. *)
 
-val run_all : unit -> unit
-(** Print every table, separated by blank lines. *)
+val run_all : ?checkpoint:Checkpoint.t -> unit -> unit
+(** Print every table, separated by blank lines. With [?checkpoint],
+    each table runs under {!Checkpoint.run}: already-journaled tables
+    are replayed verbatim and newly computed ones are journaled, so an
+    interrupted invocation resumes where it was killed with
+    byte-identical output. *)

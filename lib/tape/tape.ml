@@ -7,9 +7,12 @@ module Meter = struct
     mutable current : int;
     mutable peak : int;
     mutable limit : int option;
+    mutable fail_fast : bool;
+    mutable overruns : int;
   }
 
-  let create () = { current = 0; peak = 0; limit = None }
+  let create () =
+    { current = 0; peak = 0; limit = None; fail_fast = true; overruns = 0 }
 
   let alloc m n =
     if n < 0 then invalid_arg "Meter.alloc: negative";
@@ -18,9 +21,11 @@ module Meter = struct
       m.peak <- m.current;
       match m.limit with
       | Some lim when m.peak > lim ->
-          raise
-            (Budget_exceeded
-               (Printf.sprintf "internal memory: peak %d > budget %d" m.peak lim))
+          if m.fail_fast then
+            raise
+              (Budget_exceeded
+                 (Printf.sprintf "internal memory: peak %d > budget %d" m.peak lim))
+          else m.overruns <- m.overruns + 1
       | Some _ | None -> ()
     end
 
@@ -28,24 +33,45 @@ module Meter = struct
     if n < 0 || n > m.current then invalid_arg "Meter.free: underflow";
     m.current <- m.current - n
 
-  let with_units m n f =
-    alloc m n;
-    Fun.protect ~finally:(fun () -> free m n) f
+  let with_units ?fail_fast m n f =
+    let saved = m.fail_fast in
+    (match fail_fast with Some b -> m.fail_fast <- b | None -> ());
+    Fun.protect
+      ~finally:(fun () -> m.fail_fast <- saved)
+      (fun () ->
+        alloc m n;
+        Fun.protect ~finally:(fun () -> free m n) f)
 
   let current m = m.current
   let peak m = m.peak
+  let overruns m = m.overruns
+end
+
+module Injection = struct
+  type 'a read_outcome = Read_ok | Read_value of 'a | Read_fail of exn
+  type 'a write_outcome = Write_ok | Write_value of 'a | Write_drop | Write_fail of exn
+  type move_outcome = Move_ok | Move_fail of exn
+
+  type 'a t = {
+    on_read : pos:int -> 'a -> 'a read_outcome;
+    on_write : pos:int -> 'a -> 'a write_outcome;
+    on_move : pos:int -> direction -> move_outcome;
+  }
 end
 
 type member = {
   m_name : string;
   m_revs : unit -> int;
   m_cells : unit -> int;
+  m_faults : unit -> int;
 }
 
 type group_state = {
   mutable members : member list; (* reversed registration order *)
   g_meter : Meter.t;
   max_scans : int option;
+  mutable g_fail_fast : bool;
+  mutable scan_overruns : int;
 }
 
 type 'a t = {
@@ -57,6 +83,8 @@ type 'a t = {
   mutable dir : direction;
   mutable revs : int;
   mutable group : group_state option;
+  mutable injection : 'a Injection.t option;
+  mutable faults : int;
 }
 
 (* atomic: tapes are created from several domains at once under the
@@ -76,6 +104,8 @@ let create ?name ~blank () =
     dir = Right;
     revs = 0;
     group = None;
+    injection = None;
+    faults = 0;
   }
 
 let touch tp pos =
@@ -97,14 +127,43 @@ let of_list ?name ~blank items =
   tp
 
 let name tp = tp.name
+let blank tp = tp.blank
+
+let set_injection tp h = tp.injection <- h
+let faults tp = tp.faults
 
 let read tp =
   touch tp tp.pos;
-  tp.cells.(tp.pos)
+  let v = tp.cells.(tp.pos) in
+  match tp.injection with
+  | None -> v
+  | Some h -> (
+      match h.Injection.on_read ~pos:tp.pos v with
+      | Injection.Read_ok -> v
+      | Injection.Read_value v' ->
+          (* silent read corruption: the cell itself is untouched *)
+          tp.faults <- tp.faults + 1;
+          v'
+      | Injection.Read_fail e ->
+          tp.faults <- tp.faults + 1;
+          raise e)
 
 let write tp x =
   touch tp tp.pos;
-  tp.cells.(tp.pos) <- x
+  match tp.injection with
+  | None -> tp.cells.(tp.pos) <- x
+  | Some h -> (
+      match h.Injection.on_write ~pos:tp.pos x with
+      | Injection.Write_ok -> tp.cells.(tp.pos) <- x
+      | Injection.Write_value x' ->
+          tp.faults <- tp.faults + 1;
+          tp.cells.(tp.pos) <- x'
+      | Injection.Write_drop ->
+          (* torn write: the old cell content survives *)
+          tp.faults <- tp.faults + 1
+      | Injection.Write_fail e ->
+          tp.faults <- tp.faults + 1;
+          raise e)
 
 let total_group_reversals g =
   List.fold_left (fun acc m -> acc + m.m_revs ()) 0 g.members
@@ -118,15 +177,25 @@ let check_scan_budget tp =
       | Some lim ->
           let scans = 1 + total_group_reversals g in
           if scans > lim then
-            raise
-              (Budget_exceeded
-                 (Printf.sprintf "scans: %d > budget %d (reversal on %s)" scans
-                    lim tp.name)))
+            if g.g_fail_fast then
+              raise
+                (Budget_exceeded
+                   (Printf.sprintf "scans: %d > budget %d (reversal on %s)" scans
+                      lim tp.name))
+            else g.scan_overruns <- g.scan_overruns + 1)
 
 let move tp dir =
   (match dir with
   | Left -> if tp.pos = 0 then invalid_arg "Tape.move: left of position 0"
   | Right -> ());
+  (match tp.injection with
+  | None -> ()
+  | Some h -> (
+      match h.Injection.on_move ~pos:tp.pos dir with
+      | Injection.Move_ok -> ()
+      | Injection.Move_fail e ->
+          tp.faults <- tp.faults + 1;
+          raise e));
   if dir <> tp.dir then begin
     tp.revs <- tp.revs + 1;
     tp.dir <- dir;
@@ -141,10 +210,14 @@ let at_left_end tp = tp.pos = 0
 let reversals tp = tp.revs
 let cells_used tp = tp.used
 
+(* Invariant: a head already at position 0 — in particular the initial
+   head, still moving Right — issues no move, so rewinding it charges no
+   reversal and leaves the direction untouched. *)
 let rewind tp =
-  while tp.pos > 0 do
-    move tp Left
-  done
+  if tp.pos > 0 then
+    while tp.pos > 0 do
+      move tp Left
+    done
 
 let to_list tp = Array.to_list (Array.sub tp.cells 0 tp.used)
 
@@ -166,10 +239,17 @@ module Group = struct
 
   let unlimited = { max_scans = None; max_internal = None }
 
-  let create ?(budget = unlimited) () =
+  let create ?(fail_fast = true) ?(budget = unlimited) () =
     let meter = Meter.create () in
     meter.Meter.limit <- budget.max_internal;
-    { members = []; g_meter = meter; max_scans = budget.max_scans }
+    meter.Meter.fail_fast <- fail_fast;
+    {
+      members = [];
+      g_meter = meter;
+      max_scans = budget.max_scans;
+      g_fail_fast = fail_fast;
+      scan_overruns = 0;
+    }
 
   let add_tape g tp =
     (match tp.group with
@@ -181,6 +261,7 @@ module Group = struct
         m_name = tp.name;
         m_revs = (fun () -> tp.revs);
         m_cells = (fun () -> tp.used);
+        m_faults = (fun () -> tp.faults);
       }
       :: g.members
 
@@ -204,7 +285,14 @@ module Group = struct
     reversals_by_tape : (string * int) list;
     internal_peak_units : int;
     cells_by_tape : (string * int) list;
+    faults_by_tape : (string * int) list;
+    budget_overruns : int;
   }
+
+  let faults_injected g =
+    List.fold_left (fun acc m -> acc + m.m_faults ()) 0 g.members
+
+  let budget_overruns g = g.scan_overruns + Meter.overruns g.g_meter
 
   let report g =
     let members = List.rev g.members in
@@ -213,6 +301,8 @@ module Group = struct
       reversals_by_tape = List.map (fun m -> (m.m_name, m.m_revs ())) members;
       internal_peak_units = internal_peak g;
       cells_by_tape = List.map (fun m -> (m.m_name, m.m_cells ())) members;
+      faults_by_tape = List.map (fun m -> (m.m_name, m.m_faults ())) members;
+      budget_overruns = budget_overruns g;
     }
 
   let pp_report ppf r =
@@ -220,7 +310,12 @@ module Group = struct
       Fmt.list ~sep:(Fmt.any ",@ ") (Fmt.pair ~sep:(Fmt.any "=") Fmt.string Fmt.int)
     in
     Format.fprintf ppf
-      "@[<v>scans: %d@,reversals: @[%a@]@,internal peak: %d@,cells: @[%a@]@]"
+      "@[<v>scans: %d@,reversals: @[%a@]@,internal peak: %d@,cells: @[%a@]"
       r.scans_used pp_pairs r.reversals_by_tape r.internal_peak_units pp_pairs
-      r.cells_by_tape
+      r.cells_by_tape;
+    if List.exists (fun (_, f) -> f > 0) r.faults_by_tape then
+      Format.fprintf ppf "@,faults: @[%a@]" pp_pairs r.faults_by_tape;
+    if r.budget_overruns > 0 then
+      Format.fprintf ppf "@,budget overruns: %d" r.budget_overruns;
+    Format.fprintf ppf "@]"
 end

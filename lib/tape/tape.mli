@@ -34,11 +34,16 @@ val of_list : ?name:string -> blank:'a -> 'a list -> 'a t
 
 val name : 'a t -> string
 
+val blank : 'a t -> 'a
+(** The blank symbol this tape was created with. *)
+
 val read : 'a t -> 'a
-(** The cell under the head (blank if never written). *)
+(** The cell under the head (blank if never written). Passes through the
+    tape's {!Injection} hook, if any. *)
 
 val write : 'a t -> 'a -> unit
-(** Overwrite the cell under the head. *)
+(** Overwrite the cell under the head. Passes through the tape's
+    {!Injection} hook, if any. *)
 
 val move : 'a t -> direction -> unit
 (** Move the head one cell. A change of direction relative to the
@@ -60,7 +65,13 @@ val cells_used : 'a t -> int
 val rewind : 'a t -> unit
 (** Move the head back to position 0 by repeated [move Left]
     (costing one reversal if the head was last moving right and is not
-    already at position 0). *)
+    already at position 0).
+
+    {b Invariant}: a head already at position 0 — in particular a fresh
+    head still moving {!Right} — issues no movement at all, so the call
+    charges no reversal and the head direction is unchanged. Restart
+    code (the fault layer's retried scans) relies on this: prefixing a
+    forward scan with [rewind] is free when nothing needs rewinding. *)
 
 val to_list : 'a t -> 'a list
 (** Cells [0 .. cells_used - 1] as a list (includes blanks). *)
@@ -69,6 +80,47 @@ val iter_right : 'a t -> ('a -> unit) -> unit
 (** Scan from the current position to the last used cell, applying the
     function to each cell and moving the head right past the end of the
     used region. *)
+
+(** Fault-injection hooks — the seam the [lib/faults] layer plugs into.
+
+    A hook sees every [read], [write] and [move] on the tape and decides
+    its outcome. Any outcome other than [*_ok] increments the tape's
+    {!faults} counter (surfaced per tape in {!Group.report}); [*_fail]
+    outcomes additionally raise the carried exception at the call site
+    (the fault layer uses a transient-I/O exception that its retry
+    combinators classify). The substrate itself stays policy-free:
+    which faults fire, at what rate and how values are corrupted is
+    entirely the hook's business. *)
+module Injection : sig
+  type 'a read_outcome =
+    | Read_ok  (** faithful read *)
+    | Read_value of 'a
+        (** silent read corruption (bit-flip, stuck or blank cell): the
+            caller sees this value, the cell content is untouched *)
+    | Read_fail of exn  (** transient I/O failure; raised to the caller *)
+
+  type 'a write_outcome =
+    | Write_ok  (** faithful write *)
+    | Write_value of 'a  (** corrupted value written instead *)
+    | Write_drop  (** torn write: nothing is written at all *)
+    | Write_fail of exn  (** transient I/O failure; raised to the caller *)
+
+  type move_outcome = Move_ok | Move_fail of exn
+
+  type 'a t = {
+    on_read : pos:int -> 'a -> 'a read_outcome;
+    on_write : pos:int -> 'a -> 'a write_outcome;
+    on_move : pos:int -> direction -> move_outcome;
+  }
+end
+
+val set_injection : 'a t -> 'a Injection.t option -> unit
+(** Install (or with [None] remove) the tape's fault-injection hook.
+    Fault-free tapes pay a single [match] per operation. *)
+
+val faults : 'a t -> int
+(** Number of injected faults (corrupted/dropped/failed operations) so
+    far on this tape. *)
 
 (** Internal-memory meter (the [s(N)] resource). *)
 module Meter : sig
@@ -83,12 +135,20 @@ module Meter : sig
   val free : t -> int -> unit
   (** Release [n] units. @raise Invalid_argument on underflow. *)
 
-  val with_units : t -> int -> (unit -> 'b) -> 'b
+  val with_units : ?fail_fast:bool -> t -> int -> (unit -> 'b) -> 'b
   (** [with_units m n f] allocates [n], runs [f], frees [n] (also on
-      exceptions). *)
+      exceptions). [~fail_fast:false] suspends {!Budget_exceeded} for
+      the extent of the call: allocations past the budget are counted
+      in {!overruns} instead of raising — the escape hatch the fault
+      layer uses so a retried scan that re-charges its registers
+      degrades a report rather than aborting a recovery. The previous
+      fail-fast setting is restored on exit. *)
 
   val current : t -> int
   val peak : t -> int
+
+  val overruns : t -> int
+  (** Allocations that exceeded the budget while fail-fast was off. *)
 end
 
 (** Aggregation of tapes + meter against an [(r, s, t)] budget. *)
@@ -103,7 +163,12 @@ module Group : sig
 
   val unlimited : budget
 
-  val create : ?budget:budget -> unit -> t
+  val create : ?fail_fast:bool -> ?budget:budget -> unit -> t
+  (** [~fail_fast:false] (default [true]) makes budget violations —
+      both the scan bound and the meter's internal-memory bound —
+      accumulate in [report.budget_overruns] instead of raising
+      {!Budget_exceeded}: the fault layer's escape hatch for runs that
+      must survive to the end of a recovery. *)
 
   val add_tape : t -> 'a tape -> unit
   (** Register a tape; all its subsequent reversals count toward the
@@ -128,8 +193,19 @@ module Group : sig
     reversals_by_tape : (string * int) list;
     internal_peak_units : int;
     cells_by_tape : (string * int) list;
+    faults_by_tape : (string * int) list;
+        (** injected faults per registered tape (all zero without a
+            fault-injection hook) *)
+    budget_overruns : int;
+        (** budget violations tolerated while fail-fast was off *)
   }
 
   val report : t -> report
+
+  val faults_injected : t -> int
+  (** Total injected faults over all registered tapes. *)
+
+  val budget_overruns : t -> int
+
   val pp_report : Format.formatter -> report -> unit
 end

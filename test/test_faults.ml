@@ -1,0 +1,360 @@
+(* Tests for the fault-injection layer: plan determinism (including
+   across worker counts - the load-bearing property), corruption
+   detection by the deciders, the retry combinators, the pool watchdog,
+   the fail_fast escape hatch, and the checkpoint journal. *)
+
+module D = Problems.Decide
+module G = Problems.Generators
+module Pool = Parallel.Pool
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let pools () = List.map (fun d -> Pool.create ~domains:d ()) [ 1; 2; 4 ]
+
+let rates_flip p = { Faults.zero with Faults.bit_flip = p }
+
+(* ------------------------------------------------------------------ *)
+(* plan determinism *)
+
+let test_plan_derivation_deterministic () =
+  let plan = Faults.Plan.create ~seed:42 ~rates:(rates_flip 0.1) in
+  check "same (seed, name) -> same words" true
+    (Faults.Plan.derive plan ~name:"xs" = Faults.Plan.derive plan ~name:"xs");
+  check "different names -> different words" true
+    (Faults.Plan.derive plan ~name:"xs" <> Faults.Plan.derive plan ~name:"ys");
+  let plan' = Faults.Plan.create ~seed:43 ~rates:(rates_flip 0.1) in
+  check "different seeds -> different words" true
+    (Faults.Plan.derive plan ~name:"xs" <> Faults.Plan.derive plan' ~name:"xs")
+
+let test_plan_rejects_bad_rates () =
+  Alcotest.check_raises "rate > 1 rejected"
+    (Invalid_argument "Faults: bit_flip rate 1.5 outside [0,1]") (fun () ->
+      ignore (Faults.Plan.create ~seed:0 ~rates:(rates_flip 1.5)))
+
+(* Zero-rate plans draw no randomness, so attaching one is
+   observationally identical to attaching nothing. *)
+let test_zero_rate_plan_is_identity () =
+  let st () = Random.State.make [| 7 |] in
+  let inst = G.yes_instance (st ()) D.Multiset_equality ~m:8 ~n:8 in
+  let plain_ok, plain_rep = Extsort.multiset_equality inst in
+  let plan = Faults.Plan.create ~seed:99 ~rates:Faults.zero in
+  let zero_ok, zero_rep = Extsort.multiset_equality ~faults:plan inst in
+  check "verdict unchanged" true (plain_ok = zero_ok);
+  check "report unchanged" true (plain_rep = { zero_rep with faults = 0 });
+  check_int "no faults injected" 0 zero_rep.Extsort.faults;
+  let fp_plain = Fingerprint.run (st ()) inst in
+  let fp_zero = Fingerprint.run ~faults:plan (st ()) inst in
+  check "fingerprint run unchanged under zero plan" true
+    (fp_plain
+    = (let ok, rep, params = fp_zero in
+       (ok, { rep with Fingerprint.faults = 0 }, params)))
+
+(* ------------------------------------------------------------------ *)
+(* corruption detection *)
+
+let test_extsort_detects_corruption () =
+  let st = Random.State.make [| 11 |] in
+  let inst = G.yes_instance st D.Multiset_equality ~m:16 ~n:10 in
+  let detections = ref 0 and faulty = ref 0 in
+  for seed = 0 to 19 do
+    let plan = Faults.Plan.create ~seed ~rates:(rates_flip 0.02) in
+    let ok, rep = Extsort.multiset_equality ~faults:plan inst in
+    if rep.Extsort.faults > 0 then begin
+      incr faulty;
+      if not ok then incr detections
+    end
+  done;
+  check "most plans inject at least one fault" true (!faulty >= 15);
+  check "corrupted yes-instances get flagged NO" true (!detections >= !faulty / 2)
+
+let test_fingerprint_detects_corruption () =
+  let inst =
+    G.yes_instance (Random.State.make [| 5 |]) D.Multiset_equality ~m:16 ~n:10
+  in
+  let detections = ref 0 and faulty = ref 0 in
+  for seed = 0 to 19 do
+    let plan = Faults.Plan.create ~seed ~rates:(rates_flip 0.02) in
+    let st = Random.State.make [| 1234 |] in
+    let ok, rep, _ = Fingerprint.run ~faults:plan st inst in
+    if rep.Fingerprint.faults > 0 then begin
+      incr faulty;
+      if not ok then incr detections
+    end
+  done;
+  check "most plans inject at least one fault" true (!faulty >= 15);
+  check "the parity check catches corrupted runs" true (!detections > 0)
+
+(* The whole point of name-keyed fault streams: a faulty Monte Carlo
+   sweep is bit-identical for every worker count. *)
+let test_faulty_runs_deterministic_across_pools () =
+  let run pool =
+    Pool.monte_carlo pool ~trials:60 ~seed:0xFA17 (fun st ->
+        let inst = G.yes_instance st D.Multiset_equality ~m:8 ~n:8 in
+        let plan =
+          Faults.Plan.create
+            ~seed:(Random.State.full_int st (1 lsl 30))
+            ~rates:{ (rates_flip 0.01) with Faults.torn_write = 0.01 }
+        in
+        let ok, rep = Extsort.multiset_equality ~faults:plan inst in
+        (ok, rep.Extsort.faults, rep.Extsort.scans))
+  in
+  let reference = run (Pool.create ~domains:1 ()) in
+  List.iter
+    (fun pool ->
+      check
+        (Printf.sprintf "faulty sweep at %d domains" (Pool.domains pool))
+        true
+        (run pool = reference))
+    (pools ())
+
+(* ------------------------------------------------------------------ *)
+(* retry combinators *)
+
+let test_retry_succeeds_after_transients () =
+  let attempts = ref 0 in
+  let v =
+    Faults.Retry.run
+      ~policy:{ Faults.Retry.default with attempts = 5 }
+      (fun () ->
+        incr attempts;
+        if !attempts < 3 then raise (Faults.Transient_io "flaky");
+        "done")
+  in
+  Alcotest.(check string) "eventually returns" "done" v;
+  check_int "two failures + one success" 3 !attempts
+
+let test_retry_gives_up_after_k () =
+  let attempts = ref 0 and retries = ref 0 in
+  (match
+     Faults.Retry.run
+       ~policy:{ Faults.Retry.default with attempts = 4 }
+       ~label:"always-failing"
+       ~on_retry:(fun ~attempt:_ _ -> incr retries)
+       (fun () ->
+         incr attempts;
+         raise (Faults.Transient_io "down"))
+   with
+  | () -> Alcotest.fail "expected Gave_up"
+  | exception Faults.Retry.Gave_up { label; attempts = k; last } ->
+      Alcotest.(check string) "label" "always-failing" label;
+      check_int "gave up after the policy's attempts" 4 k;
+      check "last transient preserved" true
+        (match last with Faults.Transient_io _ -> true | _ -> false));
+  check_int "ran exactly K times" 4 !attempts;
+  check_int "on_retry before each re-attempt" 3 !retries
+
+let test_retry_fatal_propagates_immediately () =
+  let attempts = ref 0 in
+  Alcotest.check_raises "fatal exception not retried"
+    (Invalid_argument "broken") (fun () ->
+      Faults.Retry.run (fun () ->
+          incr attempts;
+          raise (Invalid_argument "broken")));
+  check_int "single attempt" 1 !attempts
+
+let test_backoff_deterministic () =
+  let policy = { Faults.Retry.default with base_backoff_s = 0.5 } in
+  let b attempt = Faults.Retry.backoff policy ~seed:7 ~attempt in
+  check "same (seed, attempt) -> same backoff" true (b 1 = b 1);
+  check "grows with attempt" true (b 3 > b 1);
+  check "zero base disables backoff" true
+    (Faults.Retry.backoff Faults.Retry.default ~seed:7 ~attempt:1 = 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* pool watchdog *)
+
+let watchdog_pool ?(deadline = None) ~domains ~retries () =
+  Pool.create ~domains
+    ~watchdog:
+      {
+        Pool.max_chunk_retries = retries;
+        chunk_deadline_s = deadline;
+        retryable = (function Faults.Transient_io _ -> true | _ -> false);
+      }
+    ()
+
+(* A chunk that dies on its first attempt is re-run with the same index
+   (hence the same chunk seed) and must land the same result a clean
+   pool computes. *)
+let test_watchdog_retries_killed_chunks () =
+  let reference =
+    Pool.monte_carlo (Pool.create ~domains:1 ()) ~trials:100 ~seed:0xDEAD
+      (fun st -> Random.State.full_int st 1_000_000)
+  in
+  List.iter
+    (fun domains ->
+      let pool = watchdog_pool ~domains ~retries:2 () in
+      let first_attempts = Array.init 4 (fun _ -> Atomic.make true) in
+      let got =
+        Pool.monte_carlo pool ~trials:100 ~seed:0xDEAD (fun st ->
+            let v = Random.State.full_int st 1_000_000 in
+            (* kill chunks 0 and 2 on their first visit, mid-chunk *)
+            let chunk = v mod 4 in
+            if
+              chunk mod 2 = 0
+              && Atomic.compare_and_set first_attempts.(chunk) true false
+            then raise (Faults.Transient_io "chunk killed");
+            v)
+      in
+      check
+        (Printf.sprintf "retried chunks reproduce the clean run at -j %d"
+           domains)
+        true (got = reference);
+      check "watchdog reports the retries" true
+        ((Pool.health pool).Pool.chunks_retried >= 1))
+    [ 1; 2; 4 ]
+
+let test_watchdog_exhausts_retries () =
+  let pool = watchdog_pool ~domains:1 ~retries:2 () in
+  Alcotest.check_raises "persistent fault propagates after retries"
+    (Faults.Transient_io "stuck") (fun () ->
+      Pool.map_chunks pool ~chunks:1 (fun _ ->
+          raise (Faults.Transient_io "stuck"))
+      |> ignore);
+  check_int "all retries spent" 2 (Pool.health pool).Pool.chunks_retried
+
+let test_watchdog_deadline_flags_overruns () =
+  (* a negative deadline flags every chunk, deterministically *)
+  let pool = watchdog_pool ~deadline:(Some (-1.0)) ~domains:2 ~retries:0 () in
+  let got = Pool.map_chunks pool ~chunks:6 (fun i -> i * i) in
+  check "results unaffected" true (got = Array.init 6 (fun i -> i * i));
+  check_int "every chunk flagged as overrunning" 6
+    (Pool.health pool).Pool.deadline_overruns;
+  Pool.reset_health pool;
+  check_int "reset clears the counters" 0
+    (Pool.health pool).Pool.deadline_overruns
+
+(* ------------------------------------------------------------------ *)
+(* fail_fast escape hatch *)
+
+let test_fail_fast_off_counts_overruns () =
+  let budget = { Tape.Group.max_scans = Some 1; max_internal = None } in
+  let g = Tape.Group.create ~fail_fast:false ~budget () in
+  let t = Tape.Group.tape_of_list g ~name:"t" ~blank:'_' [ 'a'; 'b'; 'c' ] in
+  Tape.move t Tape.Right;
+  Tape.move t Tape.Left;
+  Tape.move t Tape.Right;
+  check "no Budget_exceeded raised" true (Tape.Group.scans g > 1);
+  check "overruns recorded" true (Tape.Group.budget_overruns g > 0);
+  let r = Tape.Group.report g in
+  check "report surfaces the overruns" true (r.Tape.Group.budget_overruns > 0)
+
+let test_fail_fast_on_still_raises () =
+  let budget = { Tape.Group.max_scans = Some 1; max_internal = None } in
+  let g = Tape.Group.create ~budget () in
+  let t = Tape.Group.tape_of_list g ~name:"t" ~blank:'_' [ 'a'; 'b' ] in
+  Tape.move t Tape.Right;
+  check "raises on the reversal" true
+    (match Tape.move t Tape.Left with
+    | () -> false
+    | exception Tape.Budget_exceeded _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* checkpoint journal *)
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "stlb-test-ckpt" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_checkpoint_roundtrip () =
+  with_tmp_dir (fun dir ->
+      let t = Harness.Checkpoint.open_dir dir in
+      let output = "E99 table\n  row 1\n  row 2\n" in
+      check "missing entry" true (Harness.Checkpoint.lookup t ~name:"exp99" = None);
+      Harness.Checkpoint.store t ~name:"exp99" ~output;
+      check "stored entry replays verbatim" true
+        (Harness.Checkpoint.lookup t ~name:"exp99" = Some output);
+      (* non-ASCII and JSON specials must round-trip exactly *)
+      let tricky = "quote \" backslash \\ tab \t\nbell \007 end" in
+      Harness.Checkpoint.store t ~name:"tricky" ~output:tricky;
+      check "escaping round-trips" true
+        (Harness.Checkpoint.lookup t ~name:"tricky" = Some tricky))
+
+let test_checkpoint_detects_corruption () =
+  with_tmp_dir (fun dir ->
+      let t = Harness.Checkpoint.open_dir dir in
+      Harness.Checkpoint.store t ~name:"exp1" ~output:"some table\n";
+      let file = Filename.concat dir "exp1.json" in
+      let contents = In_channel.with_open_bin file In_channel.input_all in
+      let corrupted =
+        String.map (fun c -> if c = 't' then 'x' else c) contents
+      in
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc corrupted);
+      check "corrupt journal discarded" true
+        (Harness.Checkpoint.lookup t ~name:"exp1" = None);
+      check "corrupt file removed" true (not (Sys.file_exists file)))
+
+let test_crc32_known_values () =
+  (* the standard CRC-32 check value *)
+  check_int "crc32(123456789)" 0xCBF43926
+    (Harness.Checkpoint.crc32 "123456789");
+  check_int "crc32 of empty" 0 (Harness.Checkpoint.crc32 "")
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "derivation deterministic" `Quick
+            test_plan_derivation_deterministic;
+          Alcotest.test_case "bad rates rejected" `Quick
+            test_plan_rejects_bad_rates;
+          Alcotest.test_case "zero-rate plan is identity" `Quick
+            test_zero_rate_plan_is_identity;
+        ] );
+      ( "detection",
+        [
+          Alcotest.test_case "extsort flags corrupted instances" `Quick
+            test_extsort_detects_corruption;
+          Alcotest.test_case "fingerprint flags corrupted instances" `Quick
+            test_fingerprint_detects_corruption;
+          Alcotest.test_case "faulty sweeps identical for -j 1/2/4" `Slow
+            test_faulty_runs_deterministic_across_pools;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "succeeds after transients" `Quick
+            test_retry_succeeds_after_transients;
+          Alcotest.test_case "gives up after K attempts" `Quick
+            test_retry_gives_up_after_k;
+          Alcotest.test_case "fatal propagates immediately" `Quick
+            test_retry_fatal_propagates_immediately;
+          Alcotest.test_case "backoff deterministic" `Quick
+            test_backoff_deterministic;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "retried chunks keep their seeds" `Slow
+            test_watchdog_retries_killed_chunks;
+          Alcotest.test_case "exhausted retries propagate" `Quick
+            test_watchdog_exhausts_retries;
+          Alcotest.test_case "deadline overruns flagged" `Quick
+            test_watchdog_deadline_flags_overruns;
+        ] );
+      ( "fail-fast",
+        [
+          Alcotest.test_case "off: overruns counted" `Quick
+            test_fail_fast_off_counts_overruns;
+          Alcotest.test_case "on: still raises" `Quick
+            test_fail_fast_on_still_raises;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "store/lookup round-trip" `Quick
+            test_checkpoint_roundtrip;
+          Alcotest.test_case "corruption detected and discarded" `Quick
+            test_checkpoint_detects_corruption;
+          Alcotest.test_case "crc32 check values" `Quick test_crc32_known_values;
+        ] );
+    ]

@@ -51,7 +51,17 @@ let test_rewind () =
   check_int "one reversal" 1 (Tape.reversals t);
   (* rewinding when already at 0 costs nothing *)
   Tape.rewind t;
-  check_int "idempotent" 1 (Tape.reversals t)
+  check_int "idempotent" 1 (Tape.reversals t);
+  (* the documented invariant: a fresh head (position 0, moving Right)
+     issues no movement at all - no reversal charged AND the direction
+     is untouched, so a following rightward scan is still reversal-free.
+     The fault layer's retried scans rely on this. *)
+  let fresh = Tape.of_list ~blank:'_' [ 'a'; 'b' ] in
+  Tape.rewind fresh;
+  check_int "free on a fresh head" 0 (Tape.reversals fresh);
+  check "direction preserved" true (Tape.head_direction fresh = Tape.Right);
+  Tape.move fresh Tape.Right;
+  check_int "subsequent rightward move still free" 0 (Tape.reversals fresh)
 
 let test_to_list_iter () =
   let t = Tape.of_list ~blank:'_' [ 'x'; 'y' ] in
