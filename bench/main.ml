@@ -9,10 +9,14 @@
                                                          wall clock, as JSON
      dune exec bench/main.exe -- -j 4 tables           - 4 worker domains
      dune exec bench/main.exe -- --checkpoint DIR tables - journal/resume
+     dune exec bench/main.exe -- --trace FILE tables   - JSONL event trace
 
    [-j N] sizes the Domain pool the Monte Carlo harness fans trials out
    over (default: STLB_DOMAINS, else the hardware); table contents are
-   bit-identical for every N. [--checkpoint DIR] journals each
+   bit-identical for every N. [--trace FILE] installs a JSONL
+   observability sink for the run (table/ledger/audit events, see
+   lib/obs; deterministic and worker-count-independent, like the
+   tables themselves). [--checkpoint DIR] journals each
    completed table under DIR and replays journaled tables verbatim, so
    an interrupted table sweep resumes where it was killed (it applies
    to the experiment-table paths, not to micro benches, whose wall
@@ -188,14 +192,15 @@ let run_micro ?json ~quick () =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [-j N] [--checkpoint DIR] [expN | tables | micro \
-     [--json PATH] [--quick]]";
+    "usage: main.exe [-j N] [--checkpoint DIR] [--trace FILE] [expN | tables \
+     | micro [--json PATH] [--quick]]";
   exit 1
 
 let () =
-  (* strip the global [-j N] / [--checkpoint DIR] options anywhere on
-     the command line, then dispatch *)
+  (* strip the global [-j N] / [--checkpoint DIR] / [--trace FILE]
+     options anywhere on the command line, then dispatch *)
   let checkpoint = ref None in
+  let trace = ref None in
   let rec split_global acc = function
     | "-j" :: n :: rest -> (
         match int_of_string_opt n with
@@ -208,11 +213,21 @@ let () =
         checkpoint := Some (Harness.Checkpoint.open_dir dir);
         split_global acc rest
     | "--checkpoint" :: [] -> usage ()
+    | "--trace" :: path :: rest ->
+        trace := Some path;
+        split_global acc rest
+    | "--trace" :: [] -> usage ()
     | a :: rest -> split_global (a :: acc) rest
     | [] -> List.rev acc
   in
   let args = split_global [] (List.tl (Array.to_list Sys.argv)) in
   let checkpoint = !checkpoint in
+  let with_trace f =
+    match !trace with
+    | None -> f ()
+    | Some p -> Obs.Trace.with_sink (Obs.Trace.open_file p) f
+  in
+  with_trace @@ fun () ->
   match args with
   | [] ->
       Harness.Experiments.run_all ?checkpoint ();

@@ -5,8 +5,9 @@
      gen         generate problem instances
      decide      run a decider (reference / sort / fingerprint / nst)
      adversary   run the Lemma 21 attack on a staircase list machine
-     experiment  run one (or all) of the E1..E16 experiment tables,
-                 optionally journaling/resuming via --checkpoint
+     experiment  run one (or all) of the E1..E17 experiment tables,
+                 optionally journaling/resuming via --checkpoint and
+                 emitting a JSONL event trace via --trace
      classes     print the paper's classification table
      sortedness  sortedness of the reverse-binary permutation
 
@@ -60,6 +61,31 @@ let problem_arg =
 
 let state_of seed = Random.State.make [| seed |]
 
+let trace_arg =
+  let doc =
+    "Append-free JSONL event trace: (re)create $(docv) and write one JSON \
+     object per line - $(b,table) events (status start/done/replayed), \
+     $(b,ledger) events (measured per-run cost: scans, reversals, internal \
+     peak, per-tape head movements) and $(b,audit) events \
+     (measured-vs-theorem budget checks). Events carry no timestamps and \
+     no worker-count-dependent fields, so traces are bit-identical for \
+     $(b,-j) 1/2/4."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let with_trace path f =
+  match path with
+  | None -> f ()
+  | Some p -> Obs.Trace.with_sink (Obs.Trace.open_file p) f
+
+let budget_exit =
+  Cmd.Exit.info 10
+    ~doc:
+      "an enforced resource budget was exceeded (e.g. $(b,decide \
+       --max-scans)); the diagnostic is printed on stderr."
+
+let exits = budget_exit :: Cmd.Exit.defaults
+
 (* ------------------------------------------------------------------ *)
 
 let gen_cmd =
@@ -90,7 +116,8 @@ let read_instance = function
   | None -> I.decode (String.trim (input_line stdin))
 
 let decide_cmd =
-  let run seed problem algorithm file max_scans =
+  let run seed problem algorithm file max_scans trace =
+    with_trace trace @@ fun () ->
     let st = state_of seed in
     let inst = read_instance file in
     let budget =
@@ -98,23 +125,45 @@ let decide_cmd =
         (fun s -> { Tape.Group.max_scans = Some s; max_internal = None })
         max_scans
     in
+    (* With --trace, a ledger recorder observes the decider's tapes and
+       the run's measured ledger plus its theorem-budget audit land in
+       the trace; without it no observer is installed. *)
+    let recorder label =
+      match trace with
+      | None -> None
+      | Some _ -> Some (Obs.Ledger.Recorder.create ~label ())
+    in
+    let emit obs spec =
+      match obs with
+      | None -> ()
+      | Some r ->
+          let l = Obs.Ledger.Recorder.ledger ~n:(I.size inst) r in
+          Obs.Trace.ledger_current l;
+          Obs.Trace.audit_current (Obs.Audit.check spec l)
+    in
     let verdict, resources =
       match algorithm with
       | `Reference -> (D.decide problem inst, "(in-memory reference)")
       | `Sort ->
-          let v, rep = Extsort.decide ?budget problem inst in
+          let obs = recorder "sort" in
+          let v, rep = Extsort.decide ?budget ?obs problem inst in
+          emit obs Obs.Audit.mergesort_spec;
           ( v,
             Printf.sprintf "scans=%d registers=%d tapes=%d" rep.Extsort.scans
               rep.Extsort.register_peak rep.Extsort.tapes )
       | `Fingerprint ->
           if problem <> D.Multiset_equality then
             failwith "fingerprint solves multiset-eq only";
-          let v, rep, _ = Fingerprint.run st inst in
+          let obs = recorder "fingerprint" in
+          let v, rep, _ = Fingerprint.run ?obs st inst in
+          emit obs Obs.Audit.fingerprint_spec;
           ( v,
             Printf.sprintf "scans=%d internal-bits=%d tapes=%d" rep.Fingerprint.scans
               rep.Fingerprint.internal_bits rep.Fingerprint.tapes )
       | `Nst -> (
-          let v, rep = Nst.decide_with_prover problem inst in
+          let obs = recorder "nst" in
+          let v, rep = Nst.decide_with_prover ?obs problem inst in
+          emit obs Obs.Audit.nst_spec;
           match rep with
           | Some r ->
               ( v,
@@ -148,15 +197,17 @@ let decide_cmd =
   let max_scans_arg =
     let doc =
       "Enforce a scan budget on the sort decider: exceeding $(docv) scans \
-       aborts with exit status 10 (the O(log N) bound, made falsifiable)."
+       aborts with exit status 10 (the O(log N) bound, made falsifiable). \
+       Pick $(docv) at least $(b,24*ceil(log2 N\\) + 48) (the Corollary 7 \
+       audit allowance) for a run that should succeed."
     in
     Arg.(value & opt (some int) None & info [ "max-scans" ] ~docv:"R" ~doc)
   in
   let doc = "Decide an instance and report the measured resources." in
-  Cmd.v (Cmd.info "decide" ~doc)
+  Cmd.v (Cmd.info "decide" ~doc ~exits)
     Term.(
       const run $ seed_arg $ problem_arg $ algorithm_arg $ file_arg
-      $ max_scans_arg)
+      $ max_scans_arg $ trace_arg)
 
 let adversary_cmd =
   let run seed jobs m chains optimistic =
@@ -199,8 +250,9 @@ let adversary_cmd =
     Term.(const run $ seed_arg $ jobs_arg $ m_arg 8 $ chains_arg $ optimistic_arg)
 
 let experiment_cmd =
-  let run jobs checkpoint name =
+  let run jobs checkpoint trace name =
     apply_jobs jobs;
+    with_trace trace @@ fun () ->
     let checkpoint = Option.map Harness.Checkpoint.open_dir checkpoint in
     match name with
     | "all" -> Harness.Experiments.run_all ?checkpoint ()
@@ -208,11 +260,11 @@ let experiment_cmd =
         match List.assoc_opt name Harness.Experiments.all with
         | Some f -> Harness.Checkpoint.run checkpoint ~name f
         | None ->
-            Printf.eprintf "unknown experiment %S (exp1..exp16 or all)\n" name;
+            Printf.eprintf "unknown experiment %S (exp1..exp17 or all)\n" name;
             exit 1)
   in
   let name_arg =
-    let doc = "Experiment name: exp1..exp16, or all." in
+    let doc = "Experiment name: exp1..exp17, or all." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"NAME" ~doc)
   in
   let checkpoint_arg =
@@ -226,8 +278,8 @@ let experiment_cmd =
     Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc)
   in
   let doc = "Run reproduction experiments (the EXPERIMENTS.md tables)." in
-  Cmd.v (Cmd.info "experiment" ~doc)
-    Term.(const run $ jobs_arg $ checkpoint_arg $ name_arg)
+  Cmd.v (Cmd.info "experiment" ~doc ~exits)
+    Term.(const run $ jobs_arg $ checkpoint_arg $ trace_arg $ name_arg)
 
 let classes_cmd =
   let run () =
@@ -333,7 +385,7 @@ let () =
     "Randomized computations on large data sets: tight lower bounds (PODS'06) \
      - executable reproduction"
   in
-  let info = Cmd.info "stlb" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "stlb" ~version:"1.0.0" ~doc ~exits in
   let group =
     Cmd.group info
       [

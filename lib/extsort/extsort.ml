@@ -29,6 +29,13 @@ let seek tp target =
 let attach_opt faults tp =
   match faults with None -> () | Some p -> Faults.attach_string p tp
 
+(* Register the decider's private group with the caller's ledger
+   recorder. Must run before any tape is added so the recorder's
+   observer factory reaches the data tapes and every auxiliary tape
+   the sort creates later. *)
+let observe_opt obs g =
+  match obs with None -> () | Some r -> Obs.Ledger.Recorder.observe r g
+
 let phase ?faults ?retry ~label f =
   match faults with
   | None -> f ()
@@ -164,8 +171,9 @@ let report_of ?(n_override = None) g n =
     faults = Tape.Group.faults_injected g;
   }
 
-let sort ?budget ?faults ?retry items =
+let sort ?budget ?faults ?retry ?obs items =
   let g = Tape.Group.create ?budget () in
+  observe_opt obs g;
   let t = Tape.Group.tape_of_list g ~name:"data" ~blank:"" items in
   attach_opt faults t;
   let len = List.length items in
@@ -176,8 +184,9 @@ let sort ?budget ?faults ?retry items =
   in
   (out, report_of g len)
 
-let sort_k ?faults ?retry ~ways items =
+let sort_k ?faults ?retry ?obs ~ways items =
   let g = Tape.Group.create () in
+  observe_opt obs g;
   let t = Tape.Group.tape_of_list g ~name:"data" ~blank:"" items in
   attach_opt faults t;
   let len = List.length items in
@@ -197,8 +206,9 @@ let instance_tapes ?faults g inst =
   attach_opt faults ty;
   (tx, ty)
 
-let check_sort ?budget ?faults ?retry inst =
+let check_sort ?budget ?faults ?retry ?obs inst =
   let g = Tape.Group.create ?budget () in
+  observe_opt obs g;
   let meter = Tape.Group.meter g in
   let m = I.m inst in
   let tx, ty = instance_tapes ?faults g inst in
@@ -214,8 +224,9 @@ let check_sort ?budget ?faults ?retry inst =
   in
   (ok, report_of g (I.size inst))
 
-let multiset_equality ?budget ?faults ?retry inst =
+let multiset_equality ?budget ?faults ?retry ?obs inst =
   let g = Tape.Group.create ?budget () in
+  observe_opt obs g;
   let meter = Tape.Group.meter g in
   let m = I.m inst in
   let tx, ty = instance_tapes ?faults g inst in
@@ -234,8 +245,9 @@ let multiset_equality ?budget ?faults ?retry inst =
   in
   (ok, report_of g (I.size inst))
 
-let set_equality ?budget ?faults ?retry inst =
+let set_equality ?budget ?faults ?retry ?obs inst =
   let g = Tape.Group.create ?budget () in
+  observe_opt obs g;
   let meter = Tape.Group.meter g in
   let m = I.m inst in
   let tx, ty = instance_tapes ?faults g inst in
@@ -266,14 +278,16 @@ let set_equality ?budget ?faults ?retry inst =
   in
   (ok, report_of g (I.size inst))
 
-let decide ?budget ?faults ?retry problem inst =
+let decide ?budget ?faults ?retry ?obs problem inst =
   match problem with
-  | Problems.Decide.Set_equality -> set_equality ?budget ?faults ?retry inst
-  | Problems.Decide.Multiset_equality -> multiset_equality ?budget ?faults ?retry inst
-  | Problems.Decide.Check_sort -> check_sort ?budget ?faults ?retry inst
+  | Problems.Decide.Set_equality -> set_equality ?budget ?faults ?retry ?obs inst
+  | Problems.Decide.Multiset_equality ->
+      multiset_equality ?budget ?faults ?retry ?obs inst
+  | Problems.Decide.Check_sort -> check_sort ?budget ?faults ?retry ?obs inst
 
-let disjoint ?budget ?faults ?retry inst =
+let disjoint ?budget ?faults ?retry ?obs inst =
   let g = Tape.Group.create ?budget () in
+  observe_opt obs g;
   let meter = Tape.Group.meter g in
   let m = I.m inst in
   let tx, ty = instance_tapes ?faults g inst in

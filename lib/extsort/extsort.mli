@@ -30,7 +30,15 @@
     transient I/O fault re-runs the phase from scratch, re-seeking the
     tapes through ordinary [move] calls so recovery pays honest
     reversal costs. Without [?faults] the retry machinery is skipped
-    entirely and behaviour is bit-identical to the pre-fault code. *)
+    entirely and behaviour is bit-identical to the pre-fault code.
+
+    Finally, every decider accepts an optional ledger recorder
+    ([?obs]). The recorder observes the decider's private tape group —
+    including every auxiliary tape the sort creates — so that after
+    the run [Obs.Ledger.Recorder.ledger] yields per-tape head
+    movements, reversals, reads and writes for theorem-budget auditing
+    ({!Obs.Audit}). Without [?obs] no observer is installed and the
+    per-operation cost is a single pattern match on [None]. *)
 
 type report = {
   n : int;  (** input size [N] of the instance (or item count for raw sorts) *)
@@ -68,6 +76,7 @@ val sort_tape_k :
 val sort_k :
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
+  ?obs:Obs.Ledger.Recorder.t ->
   ways:int -> string list -> string list * report
 (** Wrapper over {!sort_tape_k} with measured resources. *)
 
@@ -75,6 +84,7 @@ val sort :
   ?budget:Tape.Group.budget ->
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
+  ?obs:Obs.Ledger.Recorder.t ->
   string list -> string list * report
 (** Convenience wrapper: sort a list of items through the tape
     machinery and report the measured resources. *)
@@ -83,6 +93,7 @@ val check_sort :
   ?budget:Tape.Group.budget ->
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
+  ?obs:Obs.Ledger.Recorder.t ->
   Problems.Instance.t -> bool * report
 (** Corollary 7 algorithm for CHECK-SORT: sort the first half, then a
     single parallel scan against the second half. *)
@@ -91,6 +102,7 @@ val multiset_equality :
   ?budget:Tape.Group.budget ->
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
+  ?obs:Obs.Ledger.Recorder.t ->
   Problems.Instance.t -> bool * report
 (** Sort both halves, compare pointwise. *)
 
@@ -98,6 +110,7 @@ val set_equality :
   ?budget:Tape.Group.budget ->
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
+  ?obs:Obs.Ledger.Recorder.t ->
   Problems.Instance.t -> bool * report
 (** Sort both halves, compare with on-the-fly duplicate elimination
     (one carried item per stream). *)
@@ -106,6 +119,7 @@ val decide :
   ?budget:Tape.Group.budget ->
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
+  ?obs:Obs.Ledger.Recorder.t ->
   Problems.Decide.problem -> Problems.Instance.t ->
   bool * report
 (** Dispatch on the problem. *)
@@ -114,6 +128,7 @@ val disjoint :
   ?budget:Tape.Group.budget ->
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
+  ?obs:Obs.Ledger.Recorder.t ->
   Problems.Instance.t -> bool * report
 (** The DISJOINT-SETS problem (the paper's Section 9 open case): sort
     both halves, one merge scan looking for a common element. The same
@@ -122,6 +137,9 @@ val disjoint :
     impossible, not whether [O(log N)] suffices. *)
 
 val theoretical_scan_bound : n:int -> int
-(** A closed-form bound [4·⌈log2 max(n,2)⌉ + 12] on the scans the sort
-    and the deciders above use on instances of size [n]; the test suite
-    asserts the measured scans never exceed it. *)
+(** A closed-form bound [8·⌈log2 max(n,2)⌉ + 16] on the scans a
+    {e single} tape sort (and the one-sort decider {!check_sort}) uses
+    on instances of size [n]; the test suite asserts the measured
+    scans never exceed it. The two-sort deciders ({!multiset_equality},
+    {!set_equality}, {!disjoint}) stay within three times this bound —
+    the allowance [Obs.Audit.mergesort_spec] grants. *)

@@ -159,9 +159,12 @@ module Retry = struct
         match policy.classify e with
         | Fatal -> raise e
         | Transient ->
-            if attempt >= policy.attempts then
+            if attempt >= policy.attempts then begin
+              Obs.Counters.add_retry_gave_up 1;
               raise (Gave_up { label; attempts = policy.attempts; last = e })
+            end
             else begin
+              Obs.Counters.add_retry_attempts 1;
               (match on_retry with Some h -> h ~attempt e | None -> ());
               let d = backoff policy ~seed ~attempt in
               if d > 0.0 then policy.sleep d;

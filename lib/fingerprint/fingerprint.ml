@@ -25,8 +25,9 @@ let phase ?faults ?retry ~label f =
   | None -> f ()
   | Some p -> Faults.Retry.run ?policy:retry ~seed:(Faults.Plan.seed p) ~label f
 
-let run ?faults ?retry st inst =
+let run ?faults ?retry ?obs st inst =
   let g = Tape.Group.create () in
+  (match obs with None -> () | Some r -> Obs.Ledger.Recorder.observe r g);
   let meter = Tape.Group.meter g in
   let encoded = I.encode inst in
   let tape =
@@ -130,8 +131,8 @@ let run ?faults ?retry st inst =
     },
     { m; n; input_size; k; p1; p2; x } )
 
-let decide ?faults ?retry st inst =
-  let accept, _, _ = run ?faults ?retry st inst in
+let decide ?faults ?retry ?obs st inst =
+  let accept, _, _ = run ?faults ?retry ?obs st inst in
   accept
 
 let amplified st ~rounds inst =

@@ -39,6 +39,7 @@ type report = {
 val run :
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
+  ?obs:Obs.Ledger.Recorder.t ->
   Random.State.t -> Problems.Instance.t -> bool * report * params
 (** Execute the algorithm on the encoded instance. With a fault plan
     attached ([?faults]) the input tape draws injected faults from the
@@ -48,11 +49,14 @@ val run :
     scan from its end of the tape, re-seeking through ordinary [move]
     calls so recovery pays honest reversal costs (visible in
     [report.scans]). Without [?faults], behaviour is bit-identical to
-    the fault-free code. *)
+    the fault-free code. [?obs] registers the run's tape group with a
+    ledger recorder for theorem-budget auditing ({!Obs.Audit}); without
+    it no observer is installed. *)
 
 val decide :
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
+  ?obs:Obs.Ledger.Recorder.t ->
   Random.State.t -> Problems.Instance.t -> bool
 (** Just the answer. *)
 

@@ -13,9 +13,23 @@
    fields. Anything unparsable, or whose checksum disagrees with its
    payload, is discarded with a warning on stderr and recomputed. *)
 
-type t = { dir : string }
+type t = {
+  dir : string;
+  mutable stored : int;
+  mutable replayed : int;
+  mutable discarded : int;
+}
+
+type health = { entries_stored : int; entries_replayed : int; entries_discarded : int }
 
 let dir t = t.dir
+
+let health t =
+  {
+    entries_stored = t.stored;
+    entries_replayed = t.replayed;
+    entries_discarded = t.discarded;
+  }
 
 let rec mkdirs d =
   if d = "" || d = "." || d = "/" then ()
@@ -30,7 +44,7 @@ let rec mkdirs d =
 
 let open_dir dir =
   mkdirs dir;
-  { dir }
+  { dir; stored = 0; replayed = 0; discarded = 0 }
 
 let path t name = Filename.concat t.dir (name ^ ".json")
 
@@ -154,7 +168,9 @@ let store t ~name ~output =
   let tmp = final ^ ".tmp" in
   Out_channel.with_open_bin tmp (fun oc ->
       Out_channel.output_string oc (encode ~name ~output));
-  Sys.rename tmp final
+  Sys.rename tmp final;
+  t.stored <- t.stored + 1;
+  Obs.Counters.add_checkpoint_stored 1
 
 let lookup t ~name =
   let file = path t name in
@@ -162,10 +178,18 @@ let lookup t ~name =
   else
     let contents = In_channel.with_open_bin file In_channel.input_all in
     match decode contents with
-    | Ok output -> Some output
+    | Ok output ->
+        t.replayed <- t.replayed + 1;
+        Obs.Counters.add_checkpoint_replayed 1;
+        Some output
     | Error why ->
+        (* A discard is never silent: warn on stderr AND count it, so a
+           resumed run that recomputed tables because its journal rotted
+           shows up in [health] and in the observability counters. *)
         Printf.eprintf "checkpoint: discarding corrupt journal %s (%s)\n%!" file
           why;
+        t.discarded <- t.discarded + 1;
+        Obs.Counters.add_checkpoint_discarded 1;
         (try Sys.remove file with Sys_error _ -> ());
         None
 
@@ -200,17 +224,27 @@ let with_captured_stdout f =
       flush stdout;
       Printexc.raise_with_backtrace e bt
 
+let trace_table ~name ~status =
+  Obs.Trace.emit_current ~event:"table"
+    [ ("name", Obs.Trace.String name); ("status", Obs.Trace.String status) ]
+
 let run cp ~name f =
   match cp with
-  | None -> f ()
+  | None ->
+      trace_table ~name ~status:"start";
+      f ();
+      trace_table ~name ~status:"done"
   | Some t -> (
       match lookup t ~name with
       | Some output ->
           Printf.eprintf "checkpoint: replaying %s\n%!" name;
+          trace_table ~name ~status:"replayed";
           print_string output;
           flush stdout
       | None ->
+          trace_table ~name ~status:"start";
           let (), output = with_captured_stdout f in
           print_string output;
           flush stdout;
-          store t ~name ~output)
+          store t ~name ~output;
+          trace_table ~name ~status:"done")

@@ -17,13 +17,31 @@ val open_dir : string -> t
 
 val dir : t -> string
 
+type health = {
+  entries_stored : int;  (** journal entries written by this handle *)
+  entries_replayed : int;  (** valid entries found and replayed *)
+  entries_discarded : int;
+      (** corrupt entries discarded and recomputed — never silent: each
+          discard also warns on stderr and bumps
+          [Obs.Counters.checkpoint_discarded] *)
+}
+
+val health : t -> health
+(** Per-handle journal accounting, in the style of
+    [Parallel.Pool.health]. A resumed run whose journal rotted shows a
+    nonzero [entries_discarded] here rather than quietly recomputing. *)
+
 val run : t option -> name:string -> (unit -> unit) -> unit
 (** [run (Some t) ~name f]: if [name] has a valid journal entry, print
     its stored output and skip [f]; otherwise run [f] with stdout
     captured (at the fd level, so the text is exactly what a terminal
     would have seen), re-emit the capture, and journal it. If [f]
     raises, its partial output is re-emitted, nothing is stored, and
-    the exception propagates. [run None ~name f] is just [f ()]. *)
+    the exception propagates. [run None ~name f] is just [f ()].
+
+    Either way, [run] emits ["table"] events ([status] one of
+    ["start"], ["done"], ["replayed"]) on the current {!Obs.Trace}
+    sink, if one is installed. *)
 
 val store : t -> name:string -> output:string -> unit
 (** Journal [output] under [name] (atomic tmp + rename). *)

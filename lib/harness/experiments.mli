@@ -20,7 +20,10 @@
     - E14: ablation — k-way merge arity vs scans
     - E15: ablation — Claim 1's prime-range size vs collision rate
     - E16: robustness — fault-injection detection rates and transient
-      survival under retry (see [lib/faults]) *)
+      survival under retry (see [lib/faults])
+    - E17: audit — measured cost ledgers ([lib/obs]) checked against
+      the theorem budgets, plus a deliberately over-budget negative
+      control *)
 
 val exp1 : unit -> unit
 val exp2 : unit -> unit
@@ -38,6 +41,7 @@ val exp13 : unit -> unit
 val exp14 : unit -> unit
 val exp15 : unit -> unit
 val exp16 : unit -> unit
+val exp17 : unit -> unit
 
 val all : (string * (unit -> unit)) list
 (** [("exp1", exp1); …] in order. *)

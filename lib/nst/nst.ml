@@ -149,9 +149,10 @@ let seek tp target =
     Tape.move tp Tape.Left
   done
 
-let verify problem inst cert =
+let verify ?obs problem inst cert =
   let m = I.m inst in
   let g = Tape.Group.create () in
+  (match obs with None -> () | Some r -> Obs.Ledger.Recorder.observe r g);
   let meter = Tape.Group.meter g in
   let flat = Array.to_list (Array.concat (Array.to_list cert.copies)) in
   let inputs =
@@ -233,9 +234,9 @@ let verify problem inst cert =
       tapes = List.length grp.Tape.Group.reversals_by_tape;
     } )
 
-let decide_with_prover problem inst =
+let decide_with_prover ?obs problem inst =
   match prove problem inst with
   | None -> (false, None)
   | Some cert ->
-      let ok, rep = verify problem inst cert in
+      let ok, rep = verify ?obs problem inst cert in
       (ok, Some rep)

@@ -47,11 +47,14 @@ type report = {
 }
 
 val verify :
+  ?obs:Obs.Ledger.Recorder.t ->
   Problems.Decide.problem -> Problems.Instance.t -> certificate -> bool * report
 (** The metered verifier. Accepts iff the certificate is a valid
-    witness for the instance. *)
+    witness for the instance. [?obs] registers the verifier's tape
+    group with a ledger recorder for theorem-budget auditing. *)
 
 val decide_with_prover :
+  ?obs:Obs.Ledger.Recorder.t ->
   Problems.Decide.problem -> Problems.Instance.t -> bool * report option
 (** [prove] then [verify] — the behaviour of the nondeterministic
     machine on its accepting branch (report is [None] when no witness

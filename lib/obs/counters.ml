@@ -1,0 +1,82 @@
+type snapshot = {
+  retry_attempts : int;
+  retry_gave_up : int;
+  pool_chunks : int;
+  pool_chunk_retries : int;
+  pool_deadline_overruns : int;
+  pool_degraded_spawns : int;
+  checkpoint_stored : int;
+  checkpoint_replayed : int;
+  checkpoint_discarded : int;
+}
+
+let zero =
+  {
+    retry_attempts = 0;
+    retry_gave_up = 0;
+    pool_chunks = 0;
+    pool_chunk_retries = 0;
+    pool_deadline_overruns = 0;
+    pool_degraded_spawns = 0;
+    checkpoint_stored = 0;
+    checkpoint_replayed = 0;
+    checkpoint_discarded = 0;
+  }
+
+let retry_attempts = Atomic.make 0
+let retry_gave_up = Atomic.make 0
+let pool_chunks = Atomic.make 0
+let pool_chunk_retries = Atomic.make 0
+let pool_deadline_overruns = Atomic.make 0
+let pool_degraded_spawns = Atomic.make 0
+let checkpoint_stored = Atomic.make 0
+let checkpoint_replayed = Atomic.make 0
+let checkpoint_discarded = Atomic.make 0
+
+let all =
+  [
+    retry_attempts; retry_gave_up; pool_chunks; pool_chunk_retries;
+    pool_deadline_overruns; pool_degraded_spawns; checkpoint_stored;
+    checkpoint_replayed; checkpoint_discarded;
+  ]
+
+let snapshot () =
+  {
+    retry_attempts = Atomic.get retry_attempts;
+    retry_gave_up = Atomic.get retry_gave_up;
+    pool_chunks = Atomic.get pool_chunks;
+    pool_chunk_retries = Atomic.get pool_chunk_retries;
+    pool_deadline_overruns = Atomic.get pool_deadline_overruns;
+    pool_degraded_spawns = Atomic.get pool_degraded_spawns;
+    checkpoint_stored = Atomic.get checkpoint_stored;
+    checkpoint_replayed = Atomic.get checkpoint_replayed;
+    checkpoint_discarded = Atomic.get checkpoint_discarded;
+  }
+
+let diff now ~since =
+  {
+    retry_attempts = now.retry_attempts - since.retry_attempts;
+    retry_gave_up = now.retry_gave_up - since.retry_gave_up;
+    pool_chunks = now.pool_chunks - since.pool_chunks;
+    pool_chunk_retries = now.pool_chunk_retries - since.pool_chunk_retries;
+    pool_deadline_overruns =
+      now.pool_deadline_overruns - since.pool_deadline_overruns;
+    pool_degraded_spawns = now.pool_degraded_spawns - since.pool_degraded_spawns;
+    checkpoint_stored = now.checkpoint_stored - since.checkpoint_stored;
+    checkpoint_replayed = now.checkpoint_replayed - since.checkpoint_replayed;
+    checkpoint_discarded = now.checkpoint_discarded - since.checkpoint_discarded;
+  }
+
+let reset () = List.iter (fun c -> Atomic.set c 0) all
+
+let add c n = if n <> 0 then ignore (Atomic.fetch_and_add c n)
+
+let add_retry_attempts n = add retry_attempts n
+let add_retry_gave_up n = add retry_gave_up n
+let add_pool_chunks n = add pool_chunks n
+let add_pool_chunk_retries n = add pool_chunk_retries n
+let add_pool_deadline_overruns n = add pool_deadline_overruns n
+let add_pool_degraded_spawns n = add pool_degraded_spawns n
+let add_checkpoint_stored n = add checkpoint_stored n
+let add_checkpoint_replayed n = add checkpoint_replayed n
+let add_checkpoint_discarded n = add checkpoint_discarded n

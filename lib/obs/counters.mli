@@ -1,0 +1,52 @@
+(** Process-wide activity counters for the layers a single
+    [Tape.Group] cannot see: the parallel pool, the retry combinators
+    and the checkpoint journal.
+
+    The instrumented layers ([lib/parallel], [lib/faults],
+    [lib/harness]) bump these atomics as they work; a
+    {!Ledger.Recorder} snapshots them at creation and again at capture
+    time, so every ledger carries the {e delta} of pool/retry/checkpoint
+    activity attributable to its run. All counters are atomics — safe
+    to bump from any domain — and all of them are deterministic for a
+    fixed workload: chunk counts depend on trial counts (never on the
+    worker count), and retry/checkpoint events are seeded or
+    journal-driven. *)
+
+type snapshot = {
+  retry_attempts : int;
+      (** re-attempts performed by [Faults.Retry.run] after a
+          transient failure *)
+  retry_gave_up : int;  (** [Faults.Retry.Gave_up] raises *)
+  pool_chunks : int;  (** pool jobs executed (chunk granularity) *)
+  pool_chunk_retries : int;  (** watchdog chunk re-runs *)
+  pool_deadline_overruns : int;  (** chunks that finished past a deadline *)
+  pool_degraded_spawns : int;  (** [Domain.spawn] failures absorbed *)
+  checkpoint_stored : int;  (** journal entries written *)
+  checkpoint_replayed : int;  (** tables replayed from the journal *)
+  checkpoint_discarded : int;
+      (** corrupt/unparsable journal entries discarded — surfaced here
+          so silent discards show up in every ledger *)
+}
+
+val zero : snapshot
+
+val snapshot : unit -> snapshot
+(** Current totals since process start (or {!reset}). *)
+
+val diff : snapshot -> since:snapshot -> snapshot
+(** Field-wise subtraction: the activity between two snapshots. *)
+
+val reset : unit -> unit
+(** Zero every counter (tests only). *)
+
+(** {2 Incrementors — called by the instrumented layers} *)
+
+val add_retry_attempts : int -> unit
+val add_retry_gave_up : int -> unit
+val add_pool_chunks : int -> unit
+val add_pool_chunk_retries : int -> unit
+val add_pool_deadline_overruns : int -> unit
+val add_pool_degraded_spawns : int -> unit
+val add_checkpoint_stored : int -> unit
+val add_checkpoint_replayed : int -> unit
+val add_checkpoint_discarded : int -> unit

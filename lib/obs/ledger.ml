@@ -1,0 +1,133 @@
+type tape_stats = {
+  tape : string;
+  reversals : int;
+  cells : int;
+  head_moves : int;
+  reads : int;
+  writes : int;
+  faults : int;
+}
+
+type t = {
+  label : string;
+  n : int;
+  scans : int;
+  reversals : int;
+  internal_peak : int;
+  budget_overruns : int;
+  faults_injected : int;
+  tapes : tape_stats list;
+  counters : Counters.snapshot;
+}
+
+let tape_count l = List.length l.tapes
+
+let sum_by f l = List.fold_left (fun acc ts -> acc + f ts) 0 l.tapes
+
+let head_moves l = sum_by (fun ts -> ts.head_moves) l
+let reads l = sum_by (fun ts -> ts.reads) l
+let writes l = sum_by (fun ts -> ts.writes) l
+
+let pp ppf l =
+  Format.fprintf ppf
+    "@[<v>ledger %s (N=%d)@,\
+     scans: %d  reversals: %d  internal peak: %d@,\
+     tapes: %d  head moves: %d  reads: %d  writes: %d@]" l.label l.n l.scans
+    l.reversals l.internal_peak (tape_count l) (head_moves l) (reads l)
+    (writes l);
+  if l.faults_injected > 0 then
+    Format.fprintf ppf "@,faults injected: %d" l.faults_injected;
+  if l.budget_overruns > 0 then
+    Format.fprintf ppf "@,budget overruns: %d" l.budget_overruns
+
+module Recorder = struct
+  type counts = {
+    mutable c_moves : int;
+    mutable c_reads : int;
+    mutable c_writes : int;
+  }
+
+  type t = {
+    r_label : string;
+    mutable groups : Tape.Group.t list; (* reversed observe order *)
+    counts : (string, counts) Hashtbl.t;
+    baseline : Counters.snapshot;
+  }
+
+  let create ?(label = "run") () =
+    {
+      r_label = label;
+      groups = [];
+      counts = Hashtbl.create 8;
+      baseline = Counters.snapshot ();
+    }
+
+  let counts_for r name =
+    match Hashtbl.find_opt r.counts name with
+    | Some c -> c
+    | None ->
+        let c = { c_moves = 0; c_reads = 0; c_writes = 0 } in
+        Hashtbl.add r.counts name c;
+        c
+
+  let observe r g =
+    Tape.Group.set_observer g
+      (Some
+         (fun name ->
+           let c = counts_for r name in
+           {
+             Tape.Observer.on_read = (fun ~pos:_ -> c.c_reads <- c.c_reads + 1);
+             on_write = (fun ~pos:_ -> c.c_writes <- c.c_writes + 1);
+             on_move = (fun ~pos:_ _ -> c.c_moves <- c.c_moves + 1);
+           }));
+    r.groups <- g :: r.groups
+
+  let ledger ?(n = 0) r =
+    let groups = List.rev r.groups in
+    let reports = List.map Tape.Group.report groups in
+    let tapes =
+      List.concat_map
+        (fun rep ->
+          List.map2
+            (fun (name, revs) ((_, cells), (_, faults)) ->
+              let c =
+                match Hashtbl.find_opt r.counts name with
+                | Some c -> c
+                | None -> { c_moves = 0; c_reads = 0; c_writes = 0 }
+              in
+              {
+                tape = name;
+                reversals = revs;
+                cells;
+                head_moves = c.c_moves;
+                reads = c.c_reads;
+                writes = c.c_writes;
+                faults;
+              })
+            rep.Tape.Group.reversals_by_tape
+            (List.combine rep.Tape.Group.cells_by_tape
+               rep.Tape.Group.faults_by_tape))
+        reports
+    in
+    let reversals =
+      List.fold_left (fun acc (ts : tape_stats) -> acc + ts.reversals) 0 tapes
+    in
+    {
+      label = r.r_label;
+      n;
+      scans = 1 + reversals;
+      reversals;
+      internal_peak =
+        List.fold_left
+          (fun acc rep -> max acc rep.Tape.Group.internal_peak_units)
+          0 reports;
+      budget_overruns =
+        List.fold_left
+          (fun acc rep -> acc + rep.Tape.Group.budget_overruns)
+          0 reports;
+      faults_injected =
+        List.fold_left (fun acc (ts : tape_stats) -> acc + ts.faults) 0 tapes;
+      tapes;
+      counters = Counters.diff (Counters.snapshot ()) ~since:r.baseline;
+    }
+end

@@ -1,0 +1,106 @@
+type value = Bool of bool | Int of int | String of string
+
+type t = { oc : out_channel; owns : bool }
+
+let open_file path = { oc = open_out path; owns = true }
+let of_channel oc = { oc; owns = false }
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit t ~event fields =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "{\"event\":\"";
+  Buffer.add_string b (escape event);
+  Buffer.add_char b '"';
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b ",\"";
+      Buffer.add_string b (escape k);
+      Buffer.add_string b "\":";
+      match v with
+      | Bool bo -> Buffer.add_string b (if bo then "true" else "false")
+      | Int i -> Buffer.add_string b (string_of_int i)
+      | String s ->
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape s);
+          Buffer.add_char b '"')
+    fields;
+  Buffer.add_string b "}\n";
+  Out_channel.output_string t.oc (Buffer.contents b)
+
+let close t =
+  flush t.oc;
+  if t.owns then close_out t.oc
+
+let ledger_fields (l : Ledger.t) =
+  let c = l.Ledger.counters in
+  [
+    ("label", String l.Ledger.label);
+    ("n", Int l.Ledger.n);
+    ("scans", Int l.Ledger.scans);
+    ("reversals", Int l.Ledger.reversals);
+    ("internal_peak", Int l.Ledger.internal_peak);
+    ("tapes", Int (Ledger.tape_count l));
+    ("head_moves", Int (Ledger.head_moves l));
+    ("reads", Int (Ledger.reads l));
+    ("writes", Int (Ledger.writes l));
+    ("faults", Int l.Ledger.faults_injected);
+    ("budget_overruns", Int l.Ledger.budget_overruns);
+    ("retry_attempts", Int c.Counters.retry_attempts);
+    ("retry_gave_up", Int c.Counters.retry_gave_up);
+    ("pool_chunks", Int c.Counters.pool_chunks);
+    ("pool_chunk_retries", Int c.Counters.pool_chunk_retries);
+    ("checkpoint_discarded", Int c.Counters.checkpoint_discarded);
+  ]
+
+let emit_ledger t l = emit t ~event:"ledger" (ledger_fields l)
+
+let audit_fields (o : Audit.outcome) =
+  (("spec", String o.Audit.spec_name)
+  :: ("n", Int o.Audit.n)
+  :: ("ok", Bool o.Audit.ok)
+  :: List.concat_map
+       (fun c ->
+         [
+           (c.Audit.resource ^ "_measured", Int c.Audit.measured);
+           (c.Audit.resource ^ "_allowed", Int c.Audit.allowed);
+         ])
+       o.Audit.checks)
+
+let emit_audit t o = emit t ~event:"audit" (audit_fields o)
+
+(* main-domain only, like the sink itself *)
+let current_sink = ref None
+
+let set_current t = current_sink := t
+let current () = !current_sink
+
+let emit_current ~event fields =
+  match !current_sink with None -> () | Some t -> emit t ~event fields
+
+let ledger_current l =
+  match !current_sink with None -> () | Some t -> emit_ledger t l
+
+let audit_current o =
+  match !current_sink with None -> () | Some t -> emit_audit t o
+
+let with_sink t f =
+  let saved = !current_sink in
+  current_sink := Some t;
+  Fun.protect
+    ~finally:(fun () ->
+      current_sink := saved;
+      close t)
+    f

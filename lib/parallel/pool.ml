@@ -102,13 +102,16 @@ let reset_health t =
    and therefore the same derived seed - up to the retry bound. *)
 let guarded_exec t exec i =
   let w = t.watchdog in
+  Obs.Counters.add_pool_chunks 1;
   let rec attempt k =
     let t0 =
       match w.chunk_deadline_s with None -> 0.0 | Some _ -> Unix.gettimeofday ()
     in
     let check_deadline () =
       match w.chunk_deadline_s with
-      | Some d when Unix.gettimeofday () -. t0 > d -> Atomic.incr t.timed_out
+      | Some d when Unix.gettimeofday () -. t0 > d ->
+          Atomic.incr t.timed_out;
+          Obs.Counters.add_pool_deadline_overruns 1
       | _ -> ()
     in
     match exec i with
@@ -117,6 +120,7 @@ let guarded_exec t exec i =
         check_deadline ();
         if w.retryable e && k < w.max_chunk_retries then begin
           Atomic.incr t.retried;
+          Obs.Counters.add_pool_chunk_retries 1;
           attempt (k + 1)
         end
         else raise e
@@ -164,6 +168,7 @@ let run_jobs t ~jobs exec =
           | d -> Some d
           | exception _ ->
               Atomic.incr t.degraded;
+              Obs.Counters.add_pool_degraded_spawns 1;
               None)
       |> Array.to_list |> List.filter_map Fun.id
     in

@@ -59,11 +59,20 @@ module Injection = struct
   }
 end
 
+module Observer = struct
+  type t = {
+    on_read : pos:int -> unit;
+    on_write : pos:int -> unit;
+    on_move : pos:int -> direction -> unit;
+  }
+end
+
 type member = {
   m_name : string;
   m_revs : unit -> int;
   m_cells : unit -> int;
   m_faults : unit -> int;
+  m_set_observer : Observer.t option -> unit;
 }
 
 type group_state = {
@@ -72,6 +81,7 @@ type group_state = {
   max_scans : int option;
   mutable g_fail_fast : bool;
   mutable scan_overruns : int;
+  mutable g_observer : (string -> Observer.t) option;
 }
 
 type 'a t = {
@@ -85,6 +95,7 @@ type 'a t = {
   mutable group : group_state option;
   mutable injection : 'a Injection.t option;
   mutable faults : int;
+  mutable observer : Observer.t option;
 }
 
 (* atomic: tapes are created from several domains at once under the
@@ -106,6 +117,7 @@ let create ?name ~blank () =
     group = None;
     injection = None;
     faults = 0;
+    observer = None;
   }
 
 let touch tp pos =
@@ -131,18 +143,38 @@ let blank tp = tp.blank
 
 let set_injection tp h = tp.injection <- h
 let faults tp = tp.faults
+let set_observer tp o = tp.observer <- o
+
+(* Observers fire only once an operation has completed: an operation
+   aborted by an injected fault is re-counted when its phase retries,
+   so observed counts are as honest as the reversal accounting. *)
+let observe_read tp =
+  match tp.observer with None -> () | Some o -> o.Observer.on_read ~pos:tp.pos
+
+let observe_write tp =
+  match tp.observer with None -> () | Some o -> o.Observer.on_write ~pos:tp.pos
+
+let observe_move tp dir =
+  match tp.observer with
+  | None -> ()
+  | Some o -> o.Observer.on_move ~pos:tp.pos dir
 
 let read tp =
   touch tp tp.pos;
   let v = tp.cells.(tp.pos) in
   match tp.injection with
-  | None -> v
+  | None ->
+      observe_read tp;
+      v
   | Some h -> (
       match h.Injection.on_read ~pos:tp.pos v with
-      | Injection.Read_ok -> v
+      | Injection.Read_ok ->
+          observe_read tp;
+          v
       | Injection.Read_value v' ->
           (* silent read corruption: the cell itself is untouched *)
           tp.faults <- tp.faults + 1;
+          observe_read tp;
           v'
       | Injection.Read_fail e ->
           tp.faults <- tp.faults + 1;
@@ -151,16 +183,22 @@ let read tp =
 let write tp x =
   touch tp tp.pos;
   match tp.injection with
-  | None -> tp.cells.(tp.pos) <- x
+  | None ->
+      tp.cells.(tp.pos) <- x;
+      observe_write tp
   | Some h -> (
       match h.Injection.on_write ~pos:tp.pos x with
-      | Injection.Write_ok -> tp.cells.(tp.pos) <- x
+      | Injection.Write_ok ->
+          tp.cells.(tp.pos) <- x;
+          observe_write tp
       | Injection.Write_value x' ->
           tp.faults <- tp.faults + 1;
-          tp.cells.(tp.pos) <- x'
+          tp.cells.(tp.pos) <- x';
+          observe_write tp
       | Injection.Write_drop ->
           (* torn write: the old cell content survives *)
-          tp.faults <- tp.faults + 1
+          tp.faults <- tp.faults + 1;
+          observe_write tp
       | Injection.Write_fail e ->
           tp.faults <- tp.faults + 1;
           raise e)
@@ -202,7 +240,8 @@ let move tp dir =
     check_scan_budget tp
   end;
   tp.pos <- (match dir with Left -> tp.pos - 1 | Right -> tp.pos + 1);
-  touch tp tp.pos
+  touch tp tp.pos;
+  observe_move tp dir
 
 let position tp = tp.pos
 let head_direction tp = tp.dir
@@ -249,6 +288,7 @@ module Group = struct
       max_scans = budget.max_scans;
       g_fail_fast = fail_fast;
       scan_overruns = 0;
+      g_observer = None;
     }
 
   let add_tape g tp =
@@ -256,14 +296,26 @@ module Group = struct
     | Some _ -> invalid_arg "Group.add_tape: tape already grouped"
     | None -> ());
     tp.group <- Some g;
+    (match g.g_observer with
+    | None -> ()
+    | Some factory -> tp.observer <- Some (factory tp.name));
     g.members <-
       {
         m_name = tp.name;
         m_revs = (fun () -> tp.revs);
         m_cells = (fun () -> tp.used);
         m_faults = (fun () -> tp.faults);
+        m_set_observer = (fun o -> tp.observer <- o);
       }
       :: g.members
+
+  let set_observer g factory =
+    g.g_observer <- factory;
+    List.iter
+      (fun m ->
+        m.m_set_observer
+          (match factory with None -> None | Some f -> Some (f m.m_name)))
+      g.members
 
   let tape g ?name ~blank () =
     let tp = tape_create ?name ~blank () in

@@ -122,6 +122,27 @@ val faults : 'a t -> int
 (** Number of injected faults (corrupted/dropped/failed operations) so
     far on this tape. *)
 
+(** Observation hooks — the seam the [lib/obs] metrics layer plugs
+    into, symmetric with {!Injection}.
+
+    An observer sees every completed [read], [write] and [move] on the
+    tape (operations aborted by an injected fault are {e not} reported
+    — a retried scan recounts its operations honestly, exactly as it
+    re-pays its reversals). Observers are value-blind: they receive
+    positions only, so one observer type serves tapes of every cell
+    type and an unobserved tape pays a single [match] per operation —
+    instrumentation is zero-cost when disabled. *)
+module Observer : sig
+  type t = {
+    on_read : pos:int -> unit;
+    on_write : pos:int -> unit;
+    on_move : pos:int -> direction -> unit;
+  }
+end
+
+val set_observer : 'a t -> Observer.t option -> unit
+(** Install (or with [None] remove) the tape's observer. *)
+
 (** Internal-memory meter (the [s(N)] resource). *)
 module Meter : sig
   type t
@@ -172,8 +193,16 @@ module Group : sig
 
   val add_tape : t -> 'a tape -> unit
   (** Register a tape; all its subsequent reversals count toward the
-      group's scan budget.
+      group's scan budget. If the group carries an observer factory
+      ({!set_observer}), the tape is instrumented on registration.
       @raise Invalid_argument if the tape already belongs to a group. *)
+
+  val set_observer : t -> (string -> Observer.t) option -> unit
+  (** Install an observer factory on the group: every member tape —
+      current and future, keyed by its {!name} — gets the factory's
+      observer installed. This is how the metrics layer reaches the
+      auxiliary tapes an algorithm creates internally. [None] removes
+      the observers from all members. *)
 
   val tape : t -> ?name:string -> blank:'a -> unit -> 'a tape
   (** Create and register in one step. *)
