@@ -56,6 +56,16 @@ let micro_tests () =
   in
   let tm = Turing.Zoo.pair_equality () in
   let pool4 = Parallel.Pool.create ~domains:4 () in
+  (* the full Lemma 21 pipeline (sample, sweep, census, compose) at
+     m=16 against the one-chain-short staircase — the FOOLED case; a
+     1-domain pool and a pinned seed keep the measured work fixed *)
+  let adv_space = G.Checkphi.default_space ~m:16 ~n:32 in
+  let adv_machine =
+    Listmachine.Machines.staircase_checkphi ~space:adv_space
+      ~chains:(Listmachine.Machines.chains_needed ~space:adv_space - 1)
+      ~optimistic:true
+  in
+  let adv_pool = Parallel.Pool.create ~domains:1 () in
   [
     Test.make ~name:"fingerprint-multiset-eq-m64"
       (Staged.stage (fun () -> ignore (Fingerprint.run st fp_inst)));
@@ -66,6 +76,11 @@ let micro_tests () =
     Test.make ~name:"staircase-lm-run-m8"
       (Staged.stage (fun () ->
            ignore (Listmachine.Nlm.run lm ~values:lm_values ~choices:(fun _ -> 0))));
+    Test.make ~name:"adversary-census-m16"
+      (Staged.stage (fun () ->
+           ignore
+             (Stcore.Adversary.attack ~pool:adv_pool ~seed:7 st ~space:adv_space
+                ~machine:adv_machine ())));
     Test.make ~name:"sortedness-phi-4096"
       (Staged.stage (fun () ->
            ignore (Util.Permutation.sortedness (Util.Permutation.reverse_binary 4096))));

@@ -31,69 +31,104 @@ let choice_fn ~seed ~num_choices step =
 
 let values_of inst = Array.append (I.xs inst) (I.ys inst)
 
+(* View runs: the skeleton pipeline never needs full configuration
+   snapshots, and the in-place runner allocates O(t) per step instead of
+   O(list length) — which is what lets the census sweeps actually scale
+   over domains instead of contending on the major heap. *)
 let run_with ~fuel machine ~seed inst =
-  Nlm.run ~fuel machine ~values:(values_of inst)
+  Nlm.run_view ~fuel machine ~values:(values_of inst)
     ~choices:(choice_fn ~seed ~num_choices:machine.Nlm.num_choices)
 
-let attack ?pool st ~space ~machine ?(yes_samples = 48) ?(choice_trials = 8)
+(* Every random draw the attack makes comes from a splitmix64 stream
+   keyed on (root, index): samples at indices [0 .. yes_samples-1],
+   candidate choice seeds after them, resampling states after those. So
+   the whole attack is a function of the root seed — independent of the
+   pool's worker count, and replayable by passing [~seed]. *)
+let sample_index i = i
+let trial_index ~yes_samples t = yes_samples + t
+let resample_index ~yes_samples ~choice_trials n = yes_samples + choice_trials + n
+
+let attack ?pool ?seed st ~space ~machine ?(yes_samples = 48) ?(choice_trials = 8)
     ?(resample_tries = 32) ?(fuel = 200_000) () =
   let pool = match pool with Some p -> p | None -> Parallel.Pool.default () in
   let phi = G.Checkphi.phi space in
+  let inv = G.Checkphi.inv_phi space in
   let m = P.size phi in
-  let samples = List.init yes_samples (fun _ -> G.Checkphi.yes st space) in
-  let sample_arr = Array.of_list samples in
-  (* Step 1 (Lemma 26): fix a choice sequence accepting many yeses.
-     Replaying the machine on a sample is pure (the choice function is
-     regenerated from the seed), so the sample sweeps fan out over the
-     pool; folds stay in sample order, keeping the outcome independent
-     of the worker count. *)
+  let root =
+    match seed with Some s -> s | None -> Parallel.Rng.seed_of_state st
+  in
+  let sample_arr =
+    Array.init yes_samples (fun i ->
+        G.Checkphi.yes (Parallel.Rng.state ~seed:root ~index:(sample_index i)) space)
+  in
+  (* Step 1 (Lemma 26) + step 2 census input, in one sweep per candidate
+     seed: replaying the machine on a sample is pure (the choice
+     function is regenerated from the seed), so the samples fan out over
+     the pool; [Pool.map] returns slot-indexed results and every fold
+     below runs in sample order, keeping the outcome independent of the
+     worker count. Skeletons are DAG views over the run's cells — cheap
+     enough to build during scoring, which saves the separate census
+     sweep of the accepting runs. *)
   let trials =
-    if machine.Nlm.num_choices = 1 then [ 0 ]
-    else List.init choice_trials (fun _ -> Random.State.full_int st max_int)
+    if machine.Nlm.num_choices = 1 then [| 0 |]
+    else
+      Array.init choice_trials (fun t ->
+          if t = 0 then 0
+          else
+            (Parallel.Rng.derive ~seed:root ~index:(trial_index ~yes_samples t)).(0))
   in
-  let score seed =
+  let sweep seed =
     Parallel.Pool.map pool
-      (fun inst -> (run_with ~fuel machine ~seed inst).Nlm.accepted)
+      (fun inst ->
+        let tr = run_with ~fuel machine ~seed inst in
+        if tr.Nlm.vaccepted then Some (Skeleton.of_views tr) else None)
       sample_arr
-    |> Array.fold_left (fun acc accepted -> if accepted then acc + 1 else acc) 0
   in
-  let seed, hits =
-    List.fold_left
-      (fun (bs, bh) seed ->
-        let h = score seed in
-        if h > bh then (seed, h) else (bs, bh))
-      (List.hd trials, score (List.hd trials))
-      (List.tl trials)
+  let best = ref None in
+  Array.iter
+    (fun seed ->
+      let skels = sweep seed in
+      let hits =
+        Array.fold_left (fun acc o -> if Option.is_none o then acc else acc + 1) 0 skels
+      in
+      match !best with
+      | Some (_, best_hits, _) when best_hits >= hits -> ()
+      | Some _ | None -> best := Some (seed, hits, skels))
+    trials;
+  let seed, hits, skels =
+    match !best with Some b -> b | None -> assert false
   in
   let yes_acceptance = float_of_int hits /. float_of_int yes_samples in
   if 2 * hits < yes_samples then Contract_violated { yes_acceptance }
   else begin
-    (* Step 2: skeleton census over the accepting runs (replays fan
-       out; the census itself is folded in sample order). *)
-    let census = Hashtbl.create 16 in
-    Parallel.Pool.map pool
-      (fun inst ->
-        let tr = run_with ~fuel machine ~seed inst in
-        if tr.Nlm.accepted then
-          Some (Skeleton.serialize (Skeleton.of_trace tr), inst)
-        else None)
-      sample_arr
-    |> Array.iter (function
-         | None -> ()
-         | Some (key, inst) ->
-             let prev = Option.value ~default:[] (Hashtbl.find_opt census key) in
-             Hashtbl.replace census key (inst :: prev));
-    let skeleton_classes = Hashtbl.length census in
-    let _, best_class =
-      Hashtbl.fold
-        (fun _ insts (bn, bi) ->
-          let n = List.length insts in
-          if n > bn then (n, insts) else (bn, bi))
-        census (0, [])
+    (* Step 2: skeleton census of the accepting runs. Interning maps
+       structurally equal skeletons to one dense id (first-intern order,
+       i.e. sample order), so class counting is integer buckets and the
+       most-popular-class choice is deterministic: max count, ties to
+       the earlier-seen class. *)
+    let intern_tbl = Skeleton.Intern.create () in
+    let class_of = Array.make yes_samples (-1) in
+    let reps = Array.make yes_samples None in
+    Array.iteri
+      (fun i o ->
+        match o with
+        | None -> ()
+        | Some sk ->
+            let id, rep = Skeleton.Intern.intern intern_tbl sk in
+            class_of.(i) <- id;
+            if Option.is_none reps.(id) then reps.(id) <- Some rep)
+      skels;
+    let skeleton_classes = Skeleton.Intern.count intern_tbl in
+    let counts = Array.make (max skeleton_classes 1) 0 in
+    Array.iter (fun id -> if id >= 0 then counts.(id) <- counts.(id) + 1) class_of;
+    let best_id = ref 0 in
+    for id = 1 to skeleton_classes - 1 do
+      if counts.(id) > counts.(!best_id) then best_id := id
+    done;
+    let best_id = !best_id in
+    let zeta =
+      match reps.(best_id) with Some sk -> sk | None -> assert false
     in
-    let witness = List.hd best_class in
-    let witness_trace = run_with ~fuel machine ~seed witness in
-    let zeta = Skeleton.of_trace witness_trace in
     (* Step 3 (Claim 3): an uncompared pair index. *)
     match Skeleton.uncompared_phi_indices zeta ~m ~phi with
     | [] ->
@@ -106,50 +141,60 @@ let attack ?pool st ~space ~machine ?(yes_samples = 48) ?(choice_trials = 8)
     | i0 :: _ -> begin
         (* Steps 4-5: find v, w in the class differing only in the value
            at x-position i0 (hence also at y-position phi(i0)). First look
-           for a sampled pair, then actively resample the i0 value. *)
+           for a sampled pair, then actively resample the i0 value. Class
+           members are yes-instances, so the x-half minus position i0
+           determines everything but the i0 value: group on that key and
+           a second member with a different i0 value closes a pair. The
+           scan runs in sample order — first pair wins, deterministically. *)
         let key_of inst =
-          String.concat "#"
-            (List.filteri
-               (fun idx _ -> idx <> i0 - 1)
-               (Array.to_list (Array.map B.to_string (I.xs inst))))
+          let buf = Buffer.create (16 * m) in
+          let xs = I.xs inst in
+          Array.iteri
+            (fun idx x ->
+              if idx <> i0 - 1 then begin
+                Buffer.add_string buf (B.to_string x);
+                Buffer.add_char buf '#'
+              end)
+            xs;
+          Buffer.contents buf
         in
-        let groups = Hashtbl.create 16 in
-        List.iter
-          (fun inst ->
-            let k = key_of inst in
-            let prev = Option.value ~default:[] (Hashtbl.find_opt groups k) in
-            Hashtbl.replace groups k (inst :: prev))
-          best_class;
-        let sampled_pair =
-          Hashtbl.fold
-            (fun _ insts acc ->
-              match acc with
-              | Some _ -> acc
-              | None -> (
-                  match insts with
-                  | a :: rest -> (
-                      match
-                        List.find_opt
-                          (fun b -> not (B.equal (I.x a i0) (I.x b i0)))
-                          rest
-                      with
-                      | Some b -> Some (a, b)
-                      | None -> None)
-                  | [] -> None))
-            groups None
+        let first_with = Hashtbl.create 16 in
+        let sampled_pair = ref None in
+        (try
+           Array.iteri
+             (fun i id ->
+               if id = best_id then begin
+                 let inst = sample_arr.(i) in
+                 let k = key_of inst in
+                 match Hashtbl.find_opt first_with k with
+                 | Some a when not (B.equal (I.x a i0) (I.x inst i0)) ->
+                     sampled_pair := Some (a, inst);
+                     raise Exit
+                 | Some _ -> ()
+                 | None -> Hashtbl.add first_with k inst
+               end)
+             class_of
+         with Exit -> ());
+        let witness =
+          let idx = ref (-1) in
+          Array.iteri (fun i id -> if !idx < 0 && id = best_id then idx := i) class_of;
+          sample_arr.(!idx)
         in
         let resampled_pair () =
           (* perturb the witness at position i0 within its interval and
              keep variants whose run has skeleton ζ and accepts *)
           let intervals = G.Checkphi.intervals space in
-          let inv = P.inverse phi in
           let rec try_ n =
-            if n = 0 then None
+            if n > resample_tries then None
             else begin
-              let fresh =
-                Problems.Intervals.random_element st intervals (P.apply phi i0)
+              let rng =
+                Parallel.Rng.state ~seed:root
+                  ~index:(resample_index ~yes_samples ~choice_trials n)
               in
-              if B.equal fresh (I.x witness i0) then try_ (n - 1)
+              let fresh =
+                Problems.Intervals.random_element rng intervals (P.apply phi i0)
+              in
+              if B.equal fresh (I.x witness i0) then try_ (n + 1)
               else begin
                 let xs = I.xs witness in
                 xs.(i0 - 1) <- fresh;
@@ -157,17 +202,17 @@ let attack ?pool st ~space ~machine ?(yes_samples = 48) ?(choice_trials = 8)
                 let candidate = I.make xs ys in
                 let tr = run_with ~fuel machine ~seed candidate in
                 if
-                  tr.Nlm.accepted
-                  && Skeleton.equal (Skeleton.of_trace tr) zeta
+                  tr.Nlm.vaccepted
+                  && Skeleton.equal (Skeleton.of_views tr) zeta
                 then Some (witness, candidate)
-                else try_ (n - 1)
+                else try_ (n + 1)
               end
             end
           in
-          try_ resample_tries
+          try_ 1
         in
         match
-          (match sampled_pair with Some p -> Some p | None -> resampled_pair ())
+          (match !sampled_pair with Some p -> Some p | None -> resampled_pair ())
         with
         | None ->
             Not_fooled
@@ -182,7 +227,7 @@ let attack ?pool st ~space ~machine ?(yes_samples = 48) ?(choice_trials = 8)
             (* Step 6 (Lemma 34): cross the halves. *)
             let u = I.make (I.xs v) (I.ys w) in
             let tr = run_with ~fuel machine ~seed u in
-            if tr.Nlm.accepted && not (G.Checkphi.is_yes space u) then
+            if tr.Nlm.vaccepted && not (G.Checkphi.is_yes space u) then
               Fooled
                 {
                   input = u;
@@ -195,7 +240,7 @@ let attack ?pool st ~space ~machine ?(yes_samples = 48) ?(choice_trials = 8)
               Not_fooled
                 {
                   reason =
-                    (if tr.Nlm.accepted then
+                    (if tr.Nlm.vaccepted then
                        "composed input unexpectedly a yes-instance"
                      else "machine rejected the composed input");
                   yes_acceptance;
@@ -210,5 +255,5 @@ let verify_fooled ~space ~machine outcome =
   | Fooled f ->
       G.Checkphi.member space f.input
       && (not (G.Checkphi.is_yes space f.input))
-      && (run_with ~fuel:200_000 machine ~seed:f.choice_seed f.input).Nlm.accepted
+      && (run_with ~fuel:200_000 machine ~seed:f.choice_seed f.input).Nlm.vaccepted
   | Not_fooled _ | Contract_violated _ -> false

@@ -47,6 +47,7 @@ type outcome =
 
 val attack :
   ?pool:Parallel.Pool.t ->
+  ?seed:int ->
   Random.State.t ->
   space:Problems.Generators.Checkphi.space ->
   machine:Util.Bitstring.t Listmachine.Nlm.t ->
@@ -60,10 +61,15 @@ val attack :
     drawn from the space; [choice_trials] (default 8) candidate choice
     sequences are tried (1 suffices for deterministic machines);
     [resample_tries] (default 32) bounds the active search in step 4.
-    Machine replays (the Lemma 26 scoring sweep and the skeleton
-    census) are pure and fan out over [pool] (default
-    {!Parallel.Pool.default}); the outcome is independent of the
-    worker count. *)
+
+    Determinism: every random draw (samples, candidate choice seeds,
+    resampling) comes from a splitmix64 stream keyed on a root seed and
+    a fixed stream index, so the outcome is a function of the root seed
+    alone. The root is [seed] when given; otherwise one [full_int] is
+    pulled from [st] — the only use of [st]. Machine replays (the merged
+    Lemma 26 scoring / census sweep) are pure and fan out over [pool]
+    (default {!Parallel.Pool.default}); results are folded in sample
+    order, so the outcome is bit-identical for every worker count. *)
 
 val verify_fooled : space:Problems.Generators.Checkphi.space ->
   machine:Util.Bitstring.t Listmachine.Nlm.t -> outcome -> bool

@@ -6,10 +6,22 @@ type 'v fixed = {
   seed : int option;
 }
 
-let accepted_under machine ~fuel ~inputs choices =
-  List.filter
-    (fun values -> (Nlm.run ~fuel machine ~values ~choices).Nlm.accepted)
-    inputs
+let accepted_under ?pool machine ~fuel ~inputs choices =
+  match pool with
+  | None ->
+      List.filter
+        (fun values -> (Nlm.run ~fuel machine ~values ~choices).Nlm.accepted)
+        inputs
+  | Some pool ->
+      (* runs are pure: fan out, then filter on the slot-indexed flags so
+         the result is input-ordered regardless of worker count *)
+      let arr = Array.of_list inputs in
+      let flags =
+        Parallel.Pool.map pool
+          (fun values -> (Nlm.run ~fuel machine ~values ~choices).Nlm.accepted)
+          arr
+      in
+      List.filteri (fun i _ -> flags.(i)) inputs
 
 let exact_best ?(fuel = 100_000) ?(max_length = 12) machine ~inputs =
   let k = machine.Nlm.num_choices in
@@ -54,11 +66,11 @@ let splitmix ~seed ~num_choices step =
   z := !z lxor (!z lsr 16);
   (!z land max_int) mod num_choices
 
-let sampled_best st ?(trials = 16) ?(fuel = 100_000) machine ~inputs =
+let sampled_best ?pool st ?(trials = 16) ?(fuel = 100_000) machine ~inputs =
   let trials = if machine.Nlm.num_choices = 1 then 1 else trials in
   let try_seed seed =
     let choices = splitmix ~seed ~num_choices:machine.Nlm.num_choices in
-    (seed, choices, accepted_under machine ~fuel ~inputs choices)
+    (seed, choices, accepted_under ?pool machine ~fuel ~inputs choices)
   in
   let first = try_seed 0 in
   let best = ref first in

@@ -29,10 +29,13 @@ val exact_best :
     [|C|^ℓ]). @raise Invalid_argument if [|C|^ℓ] exceeds 2^20. *)
 
 val sampled_best :
+  ?pool:Parallel.Pool.t ->
   Random.State.t -> ?trials:int -> ?fuel:int -> 'v Listmachine.Nlm.t ->
   inputs:'v array list -> 'v fixed
 (** Try [trials] (default 16) random sequences, keep the best. For a
-    deterministic machine a single trial is exact. *)
+    deterministic machine a single trial is exact. When [pool] is given,
+    each trial's input sweep fans out over it (runs are pure; the result
+    is independent of the worker count). *)
 
 val meets_lemma_floor : 'v fixed -> inputs:'v array list -> bool
 (** Whether the fixed sequence accepts at least half of [inputs]. *)

@@ -45,6 +45,20 @@ let read_at tp pos =
   seek tp pos;
   Tape.read tp
 
+(* Read cells [0 .. len-1] in one left-to-right scan: seek once, then
+   read/advance cell by cell. Indexed [read_at] reads would re-seek
+   from wherever the head was left — correct, but each seek is charged
+   head moves, and an application order other than strictly ascending
+   turns the readback into O(len · seek). *)
+let read_run tp ~len =
+  seek tp 0;
+  let out = ref [] in
+  for i = 0 to len - 1 do
+    if i > 0 then Tape.move tp Tape.Right;
+    out := Tape.read tp :: !out
+  done;
+  List.rev !out
+
 let write_at tp pos x =
   seek tp pos;
   Tape.write tp x
@@ -179,8 +193,7 @@ let sort ?budget ?faults ?retry ?obs items =
   let len = List.length items in
   if len > 1 then sort_tape ?faults ?retry g t ~len;
   let out =
-    phase ?faults ?retry ~label:"sort-readback" (fun () ->
-        List.init len (fun i -> read_at t i))
+    phase ?faults ?retry ~label:"sort-readback" (fun () -> read_run t ~len)
   in
   (out, report_of g len)
 
@@ -192,8 +205,7 @@ let sort_k ?faults ?retry ?obs ~ways items =
   let len = List.length items in
   if len > 1 then sort_tape_k ?faults ?retry g t ~len ~ways;
   let out =
-    phase ?faults ?retry ~label:"sort-readback" (fun () ->
-        List.init len (fun i -> read_at t i))
+    phase ?faults ?retry ~label:"sort-readback" (fun () -> read_run t ~len)
   in
   (out, report_of g len)
 

@@ -117,7 +117,8 @@ let dispatch_probability machine ~values =
   let k = machine.Nlm.num_choices in
   let hits = ref 0 in
   for c = 0 to k - 1 do
-    if (Nlm.run machine ~values ~choices:(fun _ -> c)).Nlm.accepted then incr hits
+    if (Nlm.run_view machine ~values ~choices:(fun _ -> c)).Nlm.vaccepted then
+      incr hits
   done;
   float_of_int !hits /. float_of_int k
 

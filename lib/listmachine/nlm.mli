@@ -18,7 +18,16 @@
     be replayed on inputs that differ only at chosen positions — exactly
     what the composition lemma (Lemma 34) and the lower-bound adversary
     need. Head clamping at list ends, the three splice cases, and the
-    position update table are implemented verbatim from Definition 24(c). *)
+    position update table are implemented verbatim from Definition 24(c).
+
+    Representation. A cell is a hash-consed DAG node, not a flat string:
+    a written cell stores [a], {e references} to the component cells
+    [x_τ], and [c]. Cell sizes grow like [t^O(r)] (Lemma 30), so the
+    flat representation is exponential in the reversal count while the
+    DAG write is O(t). Every node memoizes its flattened length, rolling
+    content hashes (choice-sensitive and choice-blind), and the set of
+    input positions it mentions; functions documented as "flattened
+    view" walk the full expansion and cost [cell_size]. *)
 
 type sym =
   | In of int  (** input number by 1-based input position *)
@@ -27,8 +36,67 @@ type sym =
   | Open
   | Close
 
-type cell = sym list
-(** A cell content — a string over the alphabet. *)
+type cell
+(** A cell content — a string over the alphabet, represented as a
+    memoized DAG node. Two cells with the same flattened string are
+    [cell_equal] regardless of how they were built. *)
+
+and shape = Syms of sym array | Written of { state : int; comps : cell array; choice : int }
+(** The top layer of a cell: either an explicit symbol string or a
+    written tuple [a⟨x_1⟩…⟨x_t⟩⟨c⟩] referencing its components. *)
+
+val cell_shape : cell -> shape
+
+val cell_of_syms : sym list -> cell
+(** Build a leaf cell from an explicit symbol string. *)
+
+val syms_of_cell : cell -> sym list
+(** Flattened view: the full symbol string. Cost [cell_size]. *)
+
+val cell_equal : cell -> cell -> bool
+(** Structural equality of the flattened strings. O(1) on physically
+    shared nodes and hash-mismatching nodes; memoized descent otherwise. *)
+
+val cell_sk_equal : cell -> cell -> bool
+(** Choice-blind equality: like {!cell_equal} but every [Ch _] matches
+    every [Ch _] — the cell-level congruence of skeletons
+    (Definition 28 wildcards the choices). *)
+
+val cell_hash : cell -> int
+(** Deterministic rolling hash of the flattened string. Equal cells
+    hash equal; independent of construction history, process, domain. *)
+
+val cell_sk_hash : cell -> int
+(** Choice-blind variant of {!cell_hash}: invariant under replacing any
+    [Ch c] by [Ch c']. *)
+
+val cell_sk_equal_memo : ((int * int), bool) Hashtbl.t -> cell -> cell -> bool
+(** {!cell_sk_equal} with a caller-owned memo table keyed on ordered
+    uid pairs, so a batch of comparisons over structurally shared cells
+    (all the entries of one skeleton pair) traverses each DAG node pair
+    once. The table must not be shared across domains. *)
+
+val merge_input_positions : int array array -> int array
+(** Union of sorted distinct position arrays, sorted distinct. *)
+
+val cell_uid : cell -> int
+(** Process-global construction stamp, for physical-identity memo
+    tables. NOT deterministic across runs — never expose it in output. *)
+
+val cell_mentions : cell -> int -> bool
+(** [cell_mentions c i] — does input position [i] occur anywhere in the
+    flattened string? Binary search over the memoized position set. *)
+
+val cell_input_positions : cell -> int array
+(** Sorted distinct input positions occurring in the cell. The returned
+    array is owned by the cell — do not mutate. *)
+
+val cell_prefix_syms : cell -> int -> sym list
+(** First [n] symbols of the flattened string, without materializing the
+    rest. For bounded rendering. *)
+
+val cell_suffix_syms : cell -> int -> sym list
+(** Last [n] symbols of the flattened string, by a mirrored walk. *)
 
 type movement = { dir : int; move : bool }
 (** [dir ∈ {-1,+1}]; [move] is the Definition 14 move flag. *)
@@ -78,8 +146,8 @@ type config = {
 }
 
 val initial_config : 'v t -> config
-(** List 1 holds [⟨v_1⟩,…,⟨v_m⟩] as [\[Open; In i; Close\]] cells; other
-    lists hold the single cell [⟨⟩]. *)
+(** List 1 holds [⟨v_1⟩,…,⟨v_m⟩] as [⟨In i⟩] cells; other lists hold the
+    single cell [⟨⟩]. *)
 
 val current_cells : config -> cell array
 (** The [t] cells under the heads. *)
@@ -112,6 +180,41 @@ val run : ?fuel:int -> 'v t -> values:'v array -> choices:(int -> int) -> trace
 val scans : trace -> int
 (** [1 + Σ_τ rev(ρ, τ)] — the (r,t)-bound usage. *)
 
+(** {2 View runs — the allocation-light fast path}
+
+    {!run} snapshots the full configuration after every step; the
+    snapshots are persistent, so each step copies the spliced list
+    arrays — O(total list length) of fresh major-heap arrays per step,
+    which on adversary-sized machines dominates the run cost and makes
+    parallel sweeps contend on the shared GC. The skeleton pipeline
+    (Definition 27) only consumes the local view of each configuration:
+    state, head directions, and the [t] cells under the heads. A view
+    run keeps the lists in scratch buffers mutated in place and records
+    exactly those views, allocating O(t) per step. *)
+
+type view = {
+  vstate : int;
+  vdirs : int array;  (** head directions in this configuration *)
+  vcells : cell array;  (** the [t] cells under the heads *)
+}
+
+type view_trace = {
+  vaccepted : bool;
+  views : view array;  (** local views of [ρ_1 … ρ_ℓ] *)
+  vmoves : int array array;  (** as {!trace.moves} *)
+  vchoices_used : int array;
+  vtotal_revs : int;
+  final : config;  (** the full final configuration, materialized once *)
+  max_total_list_length : int;  (** max over the run of [Σ_τ |list τ|] *)
+  max_cell_size : int;  (** max {!cell_size} over all cells of the run *)
+}
+
+val run_view : ?fuel:int -> 'v t -> values:'v array -> choices:(int -> int) -> view_trace
+(** Same semantics as {!run} — identical states, moves, acceptance, and
+    (choice-blind) skeleton — without the per-step configuration
+    snapshots. The arrays in each {!view} are freshly allocated and
+    owned by the caller. *)
+
 val accept_probability :
   Random.State.t -> ?samples:int -> ?fuel:int -> 'v t -> values:'v array -> float
 (** Monte-Carlo estimate of [Pr(M accepts v)] by sampling uniform choice
@@ -129,23 +232,29 @@ val exact_probability : ?fuel:int -> 'v t -> values:'v array -> float
 (** {1 Cell utilities} *)
 
 val cell_inputs : cell -> int list
-(** Input positions occurring in a cell string, in order of occurrence,
-    duplicates preserved. *)
+(** Input positions occurring in the flattened cell string, in order of
+    occurrence, duplicates preserved. Flattened view — cost
+    [cell_size]; hot paths should use {!cell_mentions} /
+    {!cell_input_positions} instead. *)
 
 val cell_components : cell -> (int * cell list * int) option
-(** Parse a written cell [a⟨x_1⟩…⟨x_t⟩⟨c⟩] back into
+(** Decompose a written cell [a⟨x_1⟩…⟨x_t⟩⟨c⟩] into
     [(a, \[x_1;…;x_t\], c)]; [None] for unwritten cells ([⟨v⟩] or
-    [⟨⟩]). Machines use this to navigate nested payloads. *)
+    [⟨⟩]). O(t) on machine-written cells; hand-built [Syms] cells are
+    parsed by bracket matching. Machines use this to navigate nested
+    payloads. *)
 
 val resolve_cell : values:'v array -> cell -> ('v, int) Either.t list
 (** The resolved content α may depend on: [Left value] for inputs,
     [Right code] for the other symbols (choices as [Right (-1-c)],
     states as [Right a], brackets as [Right min_int / min_int+1]).
     Provided so machine implementations can be written against resolved
-    data only. *)
+    data only. Flattened view — cost [cell_size]. *)
 
 val cell_size : cell -> int
-(** Length of the string (number of alphabet symbols) — the cell-size
-    measure of Lemma 30(b). *)
+(** Length of the flattened string (number of alphabet symbols) — the
+    cell-size measure of Lemma 30(b). O(1); saturates at [max_int]. *)
 
 val pp_cell : Format.formatter -> cell -> unit
+(** Prints the full flattened string — cost [cell_size]; prefer
+    {!cell_prefix_syms}/{!cell_suffix_syms} for large cells. *)

@@ -120,7 +120,7 @@ let goto p ~tau ~id =
         advance p ~tau ~dir
       done
 
-let contains_input i cell = List.mem i (Nlm.cell_inputs cell)
+let contains_input i cell = Nlm.cell_mentions cell i
 
 let check_inputs_equal p ~eq i j =
   let cs = cells p in

@@ -5,12 +5,24 @@ let sym_to_string = function
   | Nlm.Open -> "<"
   | Nlm.Close -> ">"
 
+(* Render without flattening: cells are DAGs whose expansions can be
+   astronomically long, so only walk enough symbols to fill the width.
+   Matches the old flat-string behavior (full string if it fits in
+   [max_width] chars, else first/last [(max_width-2)/2] chars joined by
+   ".."), but costs O(max_width), not O(cell_size). *)
 let cell_to_string ?(max_width = 24) cell =
-  let full = String.concat "" (List.map sym_to_string cell) in
-  if String.length full <= max_width then full
+  (* enough leading symbols to cover [max_width+1] chars, or all of them *)
+  let prefix = Nlm.cell_prefix_syms cell (max_width + 1) in
+  let front = String.concat "" (List.map sym_to_string prefix) in
+  if List.length prefix <= max_width && String.length front <= max_width then front
   else begin
     let keep = (max_width - 2) / 2 in
-    String.sub full 0 keep ^ ".." ^ String.sub full (String.length full - keep) keep
+    let back =
+      String.concat "" (List.map sym_to_string (Nlm.cell_suffix_syms cell keep))
+    in
+    let back_keep = min keep (String.length back) in
+    String.sub front 0 keep ^ ".."
+    ^ String.sub back (String.length back - back_keep) back_keep
   end
 
 let config_to_string ?max_width (c : Nlm.config) =

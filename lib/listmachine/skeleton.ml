@@ -1,27 +1,38 @@
 type ind_sym = IIn of int | IWild | ISt of int | IOpen | IClose
 
 type entry =
-  | View of { state : int; dirs : int array; cells : ind_sym list array }
+  | View of { state : int; dirs : int array; cells : Nlm.cell array }
   | Collapsed
 
-type t = { entries : entry array; moves : int array array }
+type t = { entries : entry array; moves : int array array; hash : int }
 
-let ind_of_cell cell =
-  List.map
-    (function
-      | Nlm.In i -> IIn i
-      | Nlm.Ch _ -> IWild
-      | Nlm.St a -> ISt a
-      | Nlm.Open -> IOpen
-      | Nlm.Close -> IClose)
-    cell
+(* Deterministic skeleton hash: a function of the choice-blind content
+   only (cell sk-hashes are rolling hashes of the flattened strings, so
+   they are stable across runs, processes and domains). Structurally
+   equal skeletons hash equal; the census and the intern table key on
+   this. *)
+let mix h x = (h * 0x5851F42D4C957F2D) + x
+
+let hash_entries entries moves =
+  let h = ref 0x9E3779B9 in
+  Array.iter
+    (fun e ->
+      match e with
+      | Collapsed -> h := mix !h 1
+      | View v ->
+          h := mix (mix !h 2) v.state;
+          Array.iter (fun d -> h := mix !h (d + 2)) v.dirs;
+          Array.iter (fun c -> h := mix !h (Nlm.cell_sk_hash c)) v.cells)
+    entries;
+  Array.iter (fun mv -> Array.iter (fun d -> h := mix !h (d + 5)) mv) moves;
+  !h
 
 let view_of_config (c : Nlm.config) =
   View
     {
       state = c.Nlm.state;
       dirs = Array.copy c.Nlm.head_dir;
-      cells = Array.map ind_of_cell (Nlm.current_cells c);
+      cells = Nlm.current_cells c;
     }
 
 let of_trace (tr : Nlm.trace) =
@@ -35,11 +46,36 @@ let of_trace (tr : Nlm.trace) =
           else Collapsed
         end)
   in
-  { entries; moves = Array.map Array.copy tr.Nlm.moves }
+  let moves = Array.map Array.copy tr.Nlm.moves in
+  { entries; moves; hash = hash_entries entries moves }
+
+(* The fast path: a view run already recorded exactly the per-config
+   data a skeleton keeps, with freshly allocated arrays we may own. *)
+let of_views (vt : Nlm.view_trace) =
+  let entries =
+    Array.mapi
+      (fun j (v : Nlm.view) ->
+        if j = 0 || Array.exists (fun d -> d <> 0) vt.Nlm.vmoves.(j - 1) then
+          View { state = v.Nlm.vstate; dirs = v.Nlm.vdirs; cells = v.Nlm.vcells }
+        else Collapsed)
+      vt.Nlm.views
+  in
+  let moves = vt.Nlm.vmoves in
+  { entries; moves; hash = hash_entries entries moves }
+
+let hash sk = sk.hash
+
+let ind_of_sym = function
+  | Nlm.In i -> IIn i
+  | Nlm.Ch _ -> IWild
+  | Nlm.St a -> ISt a
+  | Nlm.Open -> IOpen
+  | Nlm.Close -> IClose
 
 let serialize sk =
   let buf = Buffer.create 256 in
-  let sym = function
+  let sym s =
+    match ind_of_sym s with
     | IIn i -> Buffer.add_string buf (Printf.sprintf "i%d," i)
     | IWild -> Buffer.add_string buf "?,"
     | ISt a -> Buffer.add_string buf (Printf.sprintf "a%d," a)
@@ -57,7 +93,7 @@ let serialize sk =
           Array.iter
             (fun cell ->
               Buffer.add_string buf "{";
-              List.iter sym cell;
+              List.iter sym (Nlm.syms_of_cell cell);
               Buffer.add_string buf "}")
             v.cells)
     sk.entries;
@@ -70,67 +106,112 @@ let serialize sk =
     sk.moves;
   Buffer.contents buf
 
-let equal a b = serialize a = serialize b
+(* Structural, choice-blind equality. All cell comparisons for one
+   skeleton pair share a memo table: within a run cells share structure
+   physically, across runs the (uid, uid) memo keeps the descent linear
+   in the DAG size instead of exponential in the expansion. *)
+let equal a b =
+  a == b
+  || (a.hash = b.hash
+     && Array.length a.entries = Array.length b.entries
+     && Array.length a.moves = Array.length b.moves
+     && Array.for_all2 (fun x y -> x = y) a.moves b.moves
+     &&
+     let memo = Hashtbl.create 64 in
+     let cell_eq = Nlm.cell_sk_equal_memo memo in
+     Array.for_all2
+       (fun ea eb ->
+         match (ea, eb) with
+         | Collapsed, Collapsed -> true
+         | View va, View vb ->
+             va.state = vb.state
+             && va.dirs = vb.dirs
+             && Array.length va.cells = Array.length vb.cells
+             && Array.for_all2 cell_eq va.cells vb.cells
+         | Collapsed, View _ | View _, Collapsed -> false)
+       a.entries b.entries)
 
-let positions_of_entry = function
-  | Collapsed -> []
-  | View v ->
-      let all =
-        Array.to_list v.cells
-        |> List.concat_map
-             (List.filter_map (function
-               | IIn i -> Some i
-               | IWild | ISt _ | IOpen | IClose -> None))
-      in
-      List.sort_uniq Int.compare all
+(* merge the cells' sorted distinct position arrays *)
+let entry_positions_arr = function
+  | Collapsed -> [||]
+  | View v -> Nlm.merge_input_positions (Array.map Nlm.cell_input_positions v.cells)
+
+let positions_of_entry e = Array.to_list (entry_positions_arr e)
+
+let mem_sorted arr i =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid) < i then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length arr && arr.(!lo) = i
+
+(* the nonempty per-entry position sets, computed once per query *)
+let position_sets sk =
+  Array.to_list sk.entries
+  |> List.filter_map (fun e ->
+         match entry_positions_arr e with [||] -> None | ps -> Some ps)
 
 let compared sk i i' =
   Array.exists
     (fun e ->
-      let ps = positions_of_entry e in
-      List.mem i ps && List.mem i' ps)
+      let ps = entry_positions_arr e in
+      mem_sorted ps i && mem_sorted ps i')
     sk.entries
 
 let compared_pairs sk =
   let tbl = Hashtbl.create 64 in
   Array.iter
     (fun e ->
-      let ps = positions_of_entry e in
-      List.iteri
-        (fun idx i ->
-          List.iteri
-            (fun idx' i' -> if idx < idx' then Hashtbl.replace tbl (i, i') ())
-            ps)
-        ps)
+      let ps = entry_positions_arr e in
+      let n = Array.length ps in
+      for idx = 0 to n - 1 do
+        for idx' = idx + 1 to n - 1 do
+          Hashtbl.replace tbl (ps.(idx), ps.(idx')) ()
+        done
+      done)
     sk.entries;
-  Hashtbl.fold (fun pr () acc -> pr :: acc) tbl []
-  |> List.sort compare
+  Hashtbl.fold (fun pr () acc -> pr :: acc) tbl [] |> List.sort compare
 
 let phi_compared_count sk ~m ~phi =
+  let sets = position_sets sk in
   let count = ref 0 in
-  (* one scan collecting position sets per entry, then membership *)
-  let sets =
-    Array.to_list sk.entries
-    |> List.filter_map (fun e ->
-           match positions_of_entry e with [] -> None | ps -> Some ps)
-  in
   for i = 1 to m do
     let j = m + Util.Permutation.apply phi i in
-    if List.exists (fun ps -> List.mem i ps && List.mem j ps) sets then incr count
+    if List.exists (fun ps -> mem_sorted ps i && mem_sorted ps j) sets then incr count
   done;
   !count
 
 let uncompared_phi_indices sk ~m ~phi =
-  let sets =
-    Array.to_list sk.entries
-    |> List.filter_map (fun e ->
-           match positions_of_entry e with [] -> None | ps -> Some ps)
-  in
+  let sets = position_sets sk in
   List.filter
     (fun i ->
       let j = m + Util.Permutation.apply phi i in
-      not (List.exists (fun ps -> List.mem i ps && List.mem j ps) sets))
+      not (List.exists (fun ps -> mem_sorted ps i && mem_sorted ps j) sets))
     (List.init m (fun i0 -> i0 + 1))
+
+module Intern = struct
+  type table = { buckets : (int, (t * int) list ref) Hashtbl.t; mutable next : int }
+
+  let create ?(size = 64) () = { buckets = Hashtbl.create size; next = 0 }
+  let count tbl = tbl.next
+
+  let intern tbl sk =
+    match Hashtbl.find_opt tbl.buckets sk.hash with
+    | Some bucket -> (
+        match List.find_opt (fun (rep, _) -> equal rep sk) !bucket with
+        | Some (rep, id) -> (id, rep)
+        | None ->
+            let id = tbl.next in
+            tbl.next <- id + 1;
+            bucket := (sk, id) :: !bucket;
+            (id, sk))
+    | None ->
+        let id = tbl.next in
+        tbl.next <- id + 1;
+        Hashtbl.add tbl.buckets sk.hash (ref [ (sk, id) ]);
+        (id, sk)
+end
 
 let monotone_partition_upper seq =
   (* Greedy: maintain chains, each ascending or descending (direction

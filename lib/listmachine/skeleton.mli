@@ -6,31 +6,70 @@
     counting device of the lower bound: Lemma 32 bounds how many exist,
     Definition 33 reads off which input positions were ever {e compared}
     (co-occurred in the cells under the heads at some step), and the
-    composition lemma swaps values at uncompared positions. *)
+    composition lemma swaps values at uncompared positions.
+
+    Views keep the machine's DAG cells; the choice-wildcarding of
+    Definition 28 lives in the comparison functions ({!equal} and the
+    cell sk-hashes are choice-blind) rather than in a rewritten copy of
+    every cell. {!serialize} still renders the flat wildcarded string —
+    it costs the full expansion and exists for display and golden tests,
+    not for the census, which keys on {!hash} / {!Intern} ids. *)
 
 type ind_sym = IIn of int | IWild | ISt of int | IOpen | IClose
 
 type entry =
-  | View of { state : int; dirs : int array; cells : ind_sym list array }
-      (** [skel(lv(γ))] = state, head directions, index strings of the
-          cells under the heads *)
+  | View of { state : int; dirs : int array; cells : Nlm.cell array }
+      (** [skel(lv(γ))] = state, head directions, the cells under the
+          heads (choices wildcarded at comparison time) *)
   | Collapsed  (** the ["?"] entries for movement-free steps *)
 
-type t = { entries : entry array; moves : int array array }
+type t = { entries : entry array; moves : int array array; hash : int }
+(** [hash] is the deterministic choice-blind content hash (equal
+    skeletons hash equal; stable across runs, processes and domains). *)
 
 val of_trace : Nlm.trace -> t
 (** [skel(ρ)] per Definition 28: entry 0 is always a [View]; entry
     [i+1] is a [View] iff step [i+1] moved some head to another cell. *)
 
+val of_views : Nlm.view_trace -> t
+(** [skel(ρ)] from an allocation-light {!Nlm.run_view} run. Equal (per
+    {!equal}, and in {!hash}) to [of_trace] of the corresponding full
+    run. Takes ownership of the view/move arrays — do not mutate them
+    after this call. *)
+
 val equal : t -> t -> bool
+(** Structural choice-blind equality. Hash mismatch rejects in O(1);
+    the structural descent memoizes cell pairs, so it is linear in the
+    DAG size, never in the flattened expansion. *)
+
+val hash : t -> int
 
 val serialize : t -> string
-(** An injective string encoding — usable as a hash-table key for the
-    skeleton census of the adversary (proof step 5). *)
+(** An injective string encoding of the wildcarded flat skeleton —
+    costs the full cell expansion ([Nlm.cell_size] per view cell); for
+    display and small-machine tests, {e not} for the census. *)
+
+(** Skeleton interning: the census device of the adversary (proof step
+    5). Structurally equal skeletons map to the same small id, so class
+    counting keys on ints and each new skeleton is compared only against
+    the representatives in its hash bucket. *)
+module Intern : sig
+  type table
+
+  val create : ?size:int -> unit -> table
+
+  val intern : table -> t -> int * t
+  (** [(id, rep)] — ids are dense, assigned in first-intern order, and
+      [rep] is the first structurally equal skeleton interned (so
+      repeated interning returns a physically shared representative). *)
+
+  val count : table -> int
+  (** Number of distinct classes interned so far. *)
+end
 
 val positions_of_entry : entry -> int list
 (** Sorted, deduplicated input positions occurring in a [View];
-    [] for [Collapsed]. *)
+    [] for [Collapsed]. O(positions) via the cells' memoized sets. *)
 
 val compared : t -> int -> int -> bool
 (** Definition 33: positions [i] and [i'] are compared iff they occur
@@ -71,6 +110,6 @@ val replays_to :
     resampled inputs). *)
 
 val list_position_sequence : Nlm.config -> int -> int list
-(** The input positions occurring on list [τ] (1-based), cell by cell
+(** The input positions occurring on list [τ] (1-based), cell by cell,
     left to right, in order of occurrence inside each cell — the
-    sequence the merge lemma speaks about. *)
+    sequence the merge lemma speaks about. Flattens each cell. *)

@@ -61,18 +61,23 @@ let set_yes_multiset_no st ~m ~n =
   Instance.make (shuffle st xs) (shuffle st ys)
 
 module Checkphi = struct
-  type space = { phi : P.t; intervals : Intervals.t }
+  (* [inv] is materialized once: the adversary and the yes-generator
+     need ϕ⁻¹ per sample, and recomputing the O(m) inversion per draw
+     shows up in the sample sweeps. Eager (not lazy) so concurrent pool
+     workers can read it without a forcing race. *)
+  type space = { phi : P.t; intervals : Intervals.t; inv : P.t }
 
   let make_space ~m ~n ~phi =
     if P.size phi <> m then invalid_arg "Checkphi.make_space: phi size";
     let intervals = Intervals.make ~m ~n in
     if n <= Intervals.log2m intervals then
       invalid_arg "Checkphi.make_space: intervals must have >= 2 elements";
-    { phi; intervals }
+    { phi; intervals; inv = P.inverse phi }
 
   let default_space ~m ~n = make_space ~m ~n ~phi:(P.reverse_binary m)
   let phi s = s.phi
   let intervals s = s.intervals
+  let inv_phi s = s.inv
 
   let member s inst =
     let m = P.size s.phi in
@@ -91,7 +96,7 @@ module Checkphi = struct
 
   let yes st s =
     let m = P.size s.phi in
-    let inv = P.inverse s.phi in
+    let inv = s.inv in
     let xs =
       Array.init m (fun i0 ->
           Intervals.random_element st s.intervals (P.apply s.phi (i0 + 1)))

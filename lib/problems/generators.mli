@@ -44,6 +44,10 @@ module Checkphi : sig
   val phi : space -> Util.Permutation.t
   val intervals : space -> Intervals.t
 
+  val inv_phi : space -> Util.Permutation.t
+  (** [ϕ⁻¹], computed once at space construction — sample generation
+      and the adversary's resampling step need it per draw. *)
+
   val member : space -> Instance.t -> bool
   (** Whether the instance lies in the product space [I]. *)
 

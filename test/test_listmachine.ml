@@ -37,14 +37,15 @@ let test_initial_config () =
   check_int "list2 cells" 1 (Array.length c.Nlm.contents.(1));
   Alcotest.(check (list int)) "cell 1 holds input 1" [ 1 ]
     (Nlm.cell_inputs c.Nlm.contents.(0).(0));
-  check "aux empty" true (c.Nlm.contents.(1).(0) = [ Nlm.Open; Nlm.Close ]);
+  check "aux empty" true
+    (Nlm.cell_equal c.Nlm.contents.(1).(0) (Nlm.cell_of_syms [ Nlm.Open; Nlm.Close ]));
   Alcotest.(check (array int)) "positions" [| 1; 1; 1 |] c.Nlm.pos;
   Alcotest.(check (array int)) "directions" [| 1; 1; 1 |] c.Nlm.head_dir
 
 let figure2_config () =
   (* lists (x1..x5), (y1..y5), (z1..z5), heads on x4, y2, z3; list 1's
      head arrives moving left, the others moving right *)
-  let cell tag = [ Nlm.St tag ] in
+  let cell tag = Nlm.cell_of_syms [ Nlm.St tag ] in
   {
     Nlm.state = 0;
     pos = [| 4; 2; 3 |];
@@ -74,24 +75,26 @@ let test_figure2_transition () =
   let c = figure2_config () in
   let c', moves = Nlm.step m ~values:[||] c ~choice:0 in
   let w =
-    [ Nlm.St 0 ]
-    @ [ Nlm.Open; Nlm.St 13; Nlm.Close ]   (* x4 *)
-    @ [ Nlm.Open; Nlm.St 21; Nlm.Close ]   (* y2 *)
-    @ [ Nlm.Open; Nlm.St 32; Nlm.Close ]   (* z3 *)
-    @ [ Nlm.Open; Nlm.Ch 0; Nlm.Close ]
+    Nlm.cell_of_syms
+      ([ Nlm.St 0 ]
+      @ [ Nlm.Open; Nlm.St 13; Nlm.Close ]   (* x4 *)
+      @ [ Nlm.Open; Nlm.St 21; Nlm.Close ]   (* y2 *)
+      @ [ Nlm.Open; Nlm.St 32; Nlm.Close ]   (* z3 *)
+      @ [ Nlm.Open; Nlm.Ch 0; Nlm.Close ])
   in
   (* list 1: w spliced between x4 and x5, head still on x4 *)
   check_int "list1 grew" 6 (Array.length c'.Nlm.contents.(0));
-  check "w after x4" true (c'.Nlm.contents.(0).(4) = w);
+  check "w after x4" true (Nlm.cell_equal c'.Nlm.contents.(0).(4) w);
   check_int "head1 on x4" 4 c'.Nlm.pos.(0);
   (* list 2: y2 overwritten by w, head moved to y3 *)
   check_int "list2 same size" 5 (Array.length c'.Nlm.contents.(1));
-  check "y2 overwritten" true (c'.Nlm.contents.(1).(1) = w);
+  check "y2 overwritten" true (Nlm.cell_equal c'.Nlm.contents.(1).(1) w);
   check_int "head2 on y3" 3 c'.Nlm.pos.(1);
   (* list 3: w spliced before z3, head still on z3 *)
   check_int "list3 grew" 6 (Array.length c'.Nlm.contents.(2));
-  check "w before z3" true (c'.Nlm.contents.(2).(2) = w);
-  check "z3 intact" true (c'.Nlm.contents.(2).(3) = [ Nlm.St 32 ]);
+  check "w before z3" true (Nlm.cell_equal c'.Nlm.contents.(2).(2) w);
+  check "z3 intact" true
+    (Nlm.cell_equal c'.Nlm.contents.(2).(3) (Nlm.cell_of_syms [ Nlm.St 32 ]));
   check_int "head3 on z3 (shifted)" 4 c'.Nlm.pos.(2);
   (* cell moves: only list 2's head changed cell *)
   Alcotest.(check (array int)) "cell moves" [| 0; 1; 0 |] moves;
@@ -154,7 +157,8 @@ let test_cell_components () =
   | Some (a, [ x1; x2 ], ch) ->
       check_int "state" 0 a;
       Alcotest.(check (list int)) "x1 payload" [ 1 ] (Nlm.cell_inputs x1);
-      check "x2 was aux" true (x2 = [ Nlm.Open; Nlm.Close ]);
+      check "x2 was aux" true
+        (Nlm.cell_equal x2 (Nlm.cell_of_syms [ Nlm.Open; Nlm.Close ]));
       check_int "choice" 0 ch
   | Some _ | None -> Alcotest.fail "unparseable written cell"
 
@@ -431,6 +435,59 @@ let prop_random_plans_skeleton_oblivious =
       in
       sk (values_for st m) = sk (values_for st m))
 
+let prop_view_run_matches_run =
+  QCheck.Test.make ~name:"run_view agrees with run on random machines" ~count:60
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let st = Random.State.make [| seed + 41 |] in
+      let m, machine = random_plan seed ~with_check:true in
+      let values = values_for st m in
+      let tr = Nlm.run machine ~values ~choices:(fun _ -> 0) in
+      let vt = Nlm.run_view machine ~values ~choices:(fun _ -> 0) in
+      let sk_full = Skeleton.of_trace tr in
+      let sk_view = Skeleton.of_views vt in
+      let last = tr.Nlm.configs.(Array.length tr.Nlm.configs - 1) in
+      let final = vt.Nlm.final in
+      tr.Nlm.accepted = vt.Nlm.vaccepted
+      && tr.Nlm.total_revs = vt.Nlm.vtotal_revs
+      && tr.Nlm.choices_used = vt.Nlm.vchoices_used
+      && Skeleton.equal sk_full sk_view
+      && Skeleton.hash sk_full = Skeleton.hash sk_view
+      && last.Nlm.state = final.Nlm.state
+      && last.Nlm.pos = final.Nlm.pos
+      && last.Nlm.head_dir = final.Nlm.head_dir
+      && last.Nlm.revs = final.Nlm.revs
+      && last.Nlm.ids = final.Nlm.ids
+      && Array.for_all2
+           (fun a b -> Array.length a = Array.length b && Array.for_all2 Nlm.cell_equal a b)
+           last.Nlm.contents final.Nlm.contents)
+
+let prop_intern_matches_structural_equality =
+  QCheck.Test.make
+    ~name:"interned id equality coincides with structural skeleton equality"
+    ~count:25
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let st = Random.State.make [| seed + 57 |] in
+      (* a few machines x a few value vectors: skeletons from the same
+         machine are equal (value-oblivious), across machines almost
+         never - both directions of the bijection get exercised *)
+      let sks =
+        List.concat_map
+          (fun k ->
+            let m, machine = random_plan (seed + k) ~with_check:false in
+            List.init 3 (fun _ ->
+                let values = values_for st m in
+                Skeleton.of_views (Nlm.run_view machine ~values ~choices:(fun _ -> 0))))
+          [ 0; 1; 2 ]
+      in
+      let tbl = Skeleton.Intern.create () in
+      let ids = List.map (fun sk -> (fst (Skeleton.Intern.intern tbl sk), sk)) sks in
+      List.for_all
+        (fun (ida, a) ->
+          List.for_all (fun (idb, b) -> (ida = idb) = Skeleton.equal a b) ids)
+        ids)
+
 let prop_random_plans_composition_never_violated =
   QCheck.Test.make
     ~name:"composition lemma never violated on random honest machines" ~count:40
@@ -575,6 +632,8 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_random_plans_obey_bounds;
           QCheck_alcotest.to_alcotest prop_random_plans_skeleton_oblivious;
+          QCheck_alcotest.to_alcotest prop_view_run_matches_run;
+          QCheck_alcotest.to_alcotest prop_intern_matches_structural_equality;
           QCheck_alcotest.to_alcotest prop_random_plans_composition_never_violated;
         ] );
     ]

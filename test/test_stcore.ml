@@ -67,6 +67,46 @@ let test_adversary_fools_blind_accept () =
   | Adv.Not_fooled _ | Adv.Contract_violated _ ->
       Alcotest.fail "blind-accept must be fooled"
 
+(* an injective rendering of everything an outcome determines - the
+   worker-parity test compares these strings *)
+let outcome_fingerprint outcome =
+  let inst_str inst =
+    String.concat "#"
+      (Array.to_list
+         (Array.map Util.Bitstring.to_string
+            (Array.append (Problems.Instance.xs inst) (Problems.Instance.ys inst))))
+  in
+  match outcome with
+  | Adv.Fooled { input; i0; skeleton_classes; yes_acceptance; choice_seed } ->
+      Printf.sprintf "fooled:%s:%d:%d:%.6f:%d" (inst_str input) i0
+        skeleton_classes yes_acceptance choice_seed
+  | Adv.Not_fooled { reason; yes_acceptance; skeleton_classes } ->
+      Printf.sprintf "not_fooled:%s:%.6f:%d" reason yes_acceptance
+        skeleton_classes
+  | Adv.Contract_violated { yes_acceptance } ->
+      Printf.sprintf "contract_violated:%.6f" yes_acceptance
+
+let test_attack_worker_parity () =
+  (* the attack must be a function of the root seed alone: bit-identical
+     for every pool size, and independent of the Random.State it is
+     handed when [~seed] is given *)
+  let machine = Machines.staircase_checkphi ~space ~chains:2 ~optimistic:true in
+  let fp ~state_seed d =
+    let pool = Parallel.Pool.create ~domains:d () in
+    let st = Random.State.make [| state_seed |] in
+    outcome_fingerprint (Adv.attack ~pool ~seed:4242 st ~space ~machine ())
+  in
+  let reference = fp ~state_seed:1 1 in
+  List.iter
+    (fun d ->
+      Alcotest.(check string)
+        (Printf.sprintf "outcome at -j %d" d)
+        reference
+        (fp ~state_seed:(100 + d) d))
+    [ 1; 2; 4 ];
+  check "fooled at 2 chains" true
+    (String.length reference > 7 && String.sub reference 0 7 = "fooled:")
+
 let test_verify_fooled_rejects_others () =
   let machine = Machines.blind ~input_length:16 ~accept:true in
   check "not-fooled does not verify" false
@@ -302,6 +342,8 @@ let () =
           Alcotest.test_case "fools blind-accept" `Quick test_adversary_fools_blind_accept;
           Alcotest.test_case "verify_fooled rejects others" `Quick
             test_verify_fooled_rejects_others;
+          Alcotest.test_case "worker-count parity" `Quick
+            test_attack_worker_parity;
         ] );
       ( "composition",
         [

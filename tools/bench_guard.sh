@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Bench-regression guard: compare a fresh bench trajectory against the
+# committed baseline and WARN (never fail) on large micro-benchmark
+# regressions.
+#
+#   tools/bench_guard.sh FRESH.json [BASELINE.json] [THRESHOLD_PCT]
+#
+# Both files are stlb-bench-trajectory/1 JSON as written by
+# `bench/main.exe micro --json PATH`. A micro bench whose fresh
+# ns/run exceeds the baseline by more than THRESHOLD_PCT (default 25)
+# is reported, and the script exits 0 regardless: CI runners are noisy
+# shared machines, quick-quota estimates doubly so, so the guard is a
+# review signal, not a gate. Missing-in-baseline benches (new in this
+# PR) are listed informationally.
+set -euo pipefail
+
+fresh=${1:?usage: bench_guard.sh FRESH.json [BASELINE.json] [THRESHOLD_PCT]}
+baseline=${2:-BENCH_micro.json}
+threshold=${3:-25}
+
+if ! command -v jq >/dev/null 2>&1; then
+  echo "bench-guard: jq not available; skipping" >&2
+  exit 0
+fi
+for f in "$fresh" "$baseline"; do
+  if [ ! -f "$f" ]; then
+    echo "bench-guard: $f not found; skipping" >&2
+    exit 0
+  fi
+done
+
+echo "bench-guard: $fresh vs $baseline (warn > ${threshold}% ns/run)"
+
+# name<TAB>ns pairs, nulls dropped
+pairs() {
+  jq -r '.micro[] | select(.ns_per_run != null)
+         | "\(.name)\t\(.ns_per_run)"' "$1"
+}
+
+regressions=0
+while IFS=$'\t' read -r name fresh_ns; do
+  base_ns=$(pairs "$baseline" | awk -F'\t' -v n="$name" '$1 == n { print $2 }')
+  if [ -z "$base_ns" ]; then
+    printf '  NEW      %-34s %14.1f ns/run (no baseline)\n' "$name" "$fresh_ns"
+    continue
+  fi
+  pct=$(awk -v f="$fresh_ns" -v b="$base_ns" \
+    'BEGIN { printf "%.1f", (f - b) / b * 100 }')
+  if awk -v p="$pct" -v t="$threshold" 'BEGIN { exit !(p > t) }'; then
+    printf '  WARN     %-34s %14.1f -> %14.1f ns/run (+%s%%)\n' \
+      "$name" "$base_ns" "$fresh_ns" "$pct"
+    regressions=$((regressions + 1))
+  else
+    printf '  ok       %-34s %14.1f -> %14.1f ns/run (%+s%%)\n' \
+      "$name" "$base_ns" "$fresh_ns" "$pct"
+  fi
+done < <(pairs "$fresh")
+
+if [ "$regressions" -gt 0 ]; then
+  echo "bench-guard: $regressions bench(es) regressed beyond ${threshold}% - non-blocking, but worth a look"
+else
+  echo "bench-guard: no regressions beyond ${threshold}%"
+fi
+exit 0
