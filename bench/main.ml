@@ -38,6 +38,19 @@ let micro_tests () =
   let sort_items =
     List.init 256 (fun i -> Printf.sprintf "%05d" ((i * 7919) mod 256))
   in
+  (* file-backed variant of the merge sort: same items, cells on
+     64 KiB-block-cached spill files (created and deleted every run -
+     the backend's setup cost is part of what is being measured) *)
+  let file_device =
+    Tape.Device.file_spec ~block_bytes:(1 lsl 16) ~cache_blocks:16
+      (Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "stlb-bench-spill-%d" (Unix.getpid ())))
+  in
+  let tuples =
+    List.init 1000 (fun i ->
+        Tape.Tuple.[ Str (Printf.sprintf "cell-%04d" i); Int ((i * 7919) - 500) ])
+  in
   let cs_inst = G.yes_instance st D.Check_sort ~m:128 ~n:10 in
   let space = G.Checkphi.default_space ~m:8 ~n:16 in
   let lm =
@@ -71,6 +84,14 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Fingerprint.run st fp_inst)));
     Test.make ~name:"tape-merge-sort-256"
       (Staged.stage (fun () -> ignore (Extsort.sort sort_items)));
+    Test.make ~name:"tape-file-merge-sort-64k"
+      (Staged.stage (fun () ->
+           ignore (Extsort.sort ~device:file_device sort_items)));
+    Test.make ~name:"tuple-encode-decode-1k"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun t -> ignore (Tape.Tuple.unpack (Tape.Tuple.pack t)))
+             tuples));
     Test.make ~name:"checksort-decider-m128"
       (Staged.stage (fun () -> ignore (Extsort.check_sort cs_inst)));
     Test.make ~name:"staircase-lm-run-m8"

@@ -5,7 +5,7 @@
      gen         generate problem instances
      decide      run a decider (reference / sort / fingerprint / nst)
      adversary   run the Lemma 21 attack on a staircase list machine
-     experiment  run one (or all) of the E1..E17 experiment tables,
+     experiment  run one (or all) of the E1..E18 experiment tables,
                  optionally journaling/resuming via --checkpoint and
                  emitting a JSONL event trace via --trace
      classes     print the paper's classification table
@@ -116,10 +116,34 @@ let read_instance = function
   | None -> I.decode (String.trim (input_line stdin))
 
 let decide_cmd =
-  let run seed problem algorithm file max_scans trace =
+  let run seed problem algorithm file max_scans trace dev block_size spill_dir =
     with_trace trace @@ fun () ->
     let st = state_of seed in
     let inst = read_instance file in
+    (* --device picks the tape backend for the sort and fingerprint
+       deciders (reference and nst are in-memory by construction).
+       Spill files are scratch: the deciders delete them on the way out,
+       so the directory is left holding at most the empty dir itself. *)
+    let spill () =
+      match spill_dir with
+      | Some d -> d
+      | None ->
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "stlb-spill-%d" (Unix.getpid ()))
+    in
+    let device =
+      match dev with
+      | `Mem -> None
+      | `File ->
+          Some
+            (Tape.Device.file_spec ~block_bytes:block_size ~cache_blocks:16
+               (spill ()))
+      | `Shard ->
+          Some
+            (Tape.Device.shard_spec ~shard_bytes:(16 * block_size)
+               ~cache_shards:2 (spill ()))
+    in
     let budget =
       Option.map
         (fun s -> { Tape.Group.max_scans = Some s; max_internal = None })
@@ -146,7 +170,7 @@ let decide_cmd =
       | `Reference -> (D.decide problem inst, "(in-memory reference)")
       | `Sort ->
           let obs = recorder "sort" in
-          let v, rep = Extsort.decide ?budget ?obs problem inst in
+          let v, rep = Extsort.decide ?budget ?obs ?device problem inst in
           emit obs Obs.Audit.mergesort_spec;
           ( v,
             Printf.sprintf "scans=%d registers=%d tapes=%d" rep.Extsort.scans
@@ -155,7 +179,7 @@ let decide_cmd =
           if problem <> D.Multiset_equality then
             failwith "fingerprint solves multiset-eq only";
           let obs = recorder "fingerprint" in
-          let v, rep, _ = Fingerprint.run ?obs st inst in
+          let v, rep, _ = Fingerprint.run ?obs ?device st inst in
           emit obs Obs.Audit.fingerprint_spec;
           ( v,
             Printf.sprintf "scans=%d internal-bits=%d tapes=%d" rep.Fingerprint.scans
@@ -203,11 +227,40 @@ let decide_cmd =
     in
     Arg.(value & opt (some int) None & info [ "max-scans" ] ~docv:"R" ~doc)
   in
+  let device_arg =
+    let doc =
+      "Tape cell storage for the sort and fingerprint deciders: $(b,mem) \
+       (in-RAM, the default), $(b,file) (block-cached flat files) or \
+       $(b,shard) (a sharded run directory). The measured scans, internal \
+       peak and audit verdict are backend-independent; only the I/O \
+       traffic differs. $(b,reference) and $(b,nst) ignore this."
+    in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("mem", `Mem); ("file", `File); ("shard", `Shard) ]) `Mem
+      & info [ "device" ] ~docv:"DEV" ~doc)
+  in
+  let block_size_arg =
+    let doc =
+      "Cache block size in bytes for $(b,--device file) (a shard is 16 \
+       blocks). Each tape caches 16 blocks."
+    in
+    Arg.(value & opt int 65536 & info [ "block-size" ] ~docv:"BYTES" ~doc)
+  in
+  let spill_dir_arg =
+    let doc =
+      "Directory for device backing files (default: a per-process \
+       directory under the system temp dir). Files are deleted when the \
+       decider's tapes close."
+    in
+    Arg.(value & opt (some string) None & info [ "spill-dir" ] ~docv:"DIR" ~doc)
+  in
   let doc = "Decide an instance and report the measured resources." in
   Cmd.v (Cmd.info "decide" ~doc ~exits)
     Term.(
       const run $ seed_arg $ problem_arg $ algorithm_arg $ file_arg
-      $ max_scans_arg $ trace_arg)
+      $ max_scans_arg $ trace_arg $ device_arg $ block_size_arg
+      $ spill_dir_arg)
 
 let adversary_cmd =
   let run seed jobs m chains optimistic =
@@ -260,11 +313,11 @@ let experiment_cmd =
         match List.assoc_opt name Harness.Experiments.all with
         | Some f -> Harness.Checkpoint.run checkpoint ~name f
         | None ->
-            Printf.eprintf "unknown experiment %S (exp1..exp17 or all)\n" name;
+            Printf.eprintf "unknown experiment %S (exp1..exp18 or all)\n" name;
             exit 1)
   in
   let name_arg =
-    let doc = "Experiment name: exp1..exp17, or all." in
+    let doc = "Experiment name: exp1..exp18, or all." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"NAME" ~doc)
   in
   let checkpoint_arg =

@@ -36,6 +36,18 @@ let attach_opt faults tp =
 let observe_opt obs g =
   match obs with None -> () | Some r -> Obs.Ledger.Recorder.observe r g
 
+(* A byte-backed device needs a cell codec; the items themselves bound
+   the encoded size. [Tuple] framing is order-preserving, so cells in a
+   spilled run compare bytewise exactly as the in-RAM strings do. *)
+let codec_for g items =
+  match Tape.Group.device g with
+  | Tape.Device.Mem -> None
+  | _ ->
+      let max_len =
+        List.fold_left (fun a s -> max a (String.length s)) 1 items
+      in
+      Some (Tape.Device.Codec.tuple_string ~max_len)
+
 let phase ?faults ?retry ~label f =
   match faults with
   | None -> f ()
@@ -63,12 +75,16 @@ let write_at tp pos x =
   seek tp pos;
   Tape.write tp x
 
-let sort_tape ?faults ?retry g t ~len =
+let sort_tape ?faults ?retry ?codec g t ~len =
   let meter = Tape.Group.meter g in
   (* registers: run length, three stream indices, two run bounds *)
   Tape.Meter.with_units meter 6 (fun () ->
-      let aux1 = Tape.Group.tape g ~name:(Tape.name t ^ "-aux1") ~blank:"" () in
-      let aux2 = Tape.Group.tape g ~name:(Tape.name t ^ "-aux2") ~blank:"" () in
+      let aux1 =
+        Tape.Group.tape g ~name:(Tape.name t ^ "-aux1") ?codec ~blank:"" ()
+      in
+      let aux2 =
+        Tape.Group.tape g ~name:(Tape.name t ^ "-aux2") ?codec ~blank:"" ()
+      in
       attach_opt faults aux1;
       attach_opt faults aux2;
       let run = ref 1 in
@@ -121,7 +137,7 @@ let sort_tape ?faults ?retry g t ~len =
       done;
       phase ?faults ?retry ~label:"sort-rewind" (fun () -> seek t 0))
 
-let sort_tape_k ?faults ?retry g t ~len ~ways =
+let sort_tape_k ?faults ?retry ?codec g t ~len ~ways =
   if ways < 2 then invalid_arg "Extsort.sort_tape_k: ways >= 2";
   let meter = Tape.Group.meter g in
   (* registers: run length, [ways] stream indices and bounds, counters *)
@@ -129,7 +145,7 @@ let sort_tape_k ?faults ?retry g t ~len ~ways =
       let aux =
         Array.init ways (fun i ->
             Tape.Group.tape g ~name:(Printf.sprintf "%s-aux%d" (Tape.name t) i)
-              ~blank:"" ())
+              ?codec ~blank:"" ())
       in
       Array.iter (attach_opt faults) aux;
       let run = ref 1 in
@@ -185,25 +201,29 @@ let report_of ?(n_override = None) g n =
     faults = Tape.Group.faults_injected g;
   }
 
-let sort ?budget ?faults ?retry ?obs items =
-  let g = Tape.Group.create ?budget () in
+let sort ?budget ?faults ?retry ?obs ?device items =
+  let g = Tape.Group.create ?budget ?device () in
   observe_opt obs g;
-  let t = Tape.Group.tape_of_list g ~name:"data" ~blank:"" items in
+  let codec = codec_for g items in
+  Fun.protect ~finally:(fun () -> Tape.Group.close_all g) @@ fun () ->
+  let t = Tape.Group.tape_of_list g ~name:"data" ?codec ~blank:"" items in
   attach_opt faults t;
   let len = List.length items in
-  if len > 1 then sort_tape ?faults ?retry g t ~len;
+  if len > 1 then sort_tape ?faults ?retry ?codec g t ~len;
   let out =
     phase ?faults ?retry ~label:"sort-readback" (fun () -> read_run t ~len)
   in
   (out, report_of g len)
 
-let sort_k ?faults ?retry ?obs ~ways items =
-  let g = Tape.Group.create () in
+let sort_k ?faults ?retry ?obs ?device ~ways items =
+  let g = Tape.Group.create ?device () in
   observe_opt obs g;
-  let t = Tape.Group.tape_of_list g ~name:"data" ~blank:"" items in
+  let codec = codec_for g items in
+  Fun.protect ~finally:(fun () -> Tape.Group.close_all g) @@ fun () ->
+  let t = Tape.Group.tape_of_list g ~name:"data" ?codec ~blank:"" items in
   attach_opt faults t;
   let len = List.length items in
-  if len > 1 then sort_tape_k ?faults ?retry g t ~len ~ways;
+  if len > 1 then sort_tape_k ?faults ?retry ?codec g t ~len ~ways;
   let out =
     phase ?faults ?retry ~label:"sort-readback" (fun () -> read_run t ~len)
   in
@@ -212,19 +232,22 @@ let sort_k ?faults ?retry ?obs ~ways items =
 let items_of half = Array.to_list (Array.map B.to_string half)
 
 let instance_tapes ?faults g inst =
-  let tx = Tape.Group.tape_of_list g ~name:"xs" ~blank:"" (items_of (I.xs inst)) in
-  let ty = Tape.Group.tape_of_list g ~name:"ys" ~blank:"" (items_of (I.ys inst)) in
+  let xs = items_of (I.xs inst) and ys = items_of (I.ys inst) in
+  let codec = codec_for g (xs @ ys) in
+  let tx = Tape.Group.tape_of_list g ~name:"xs" ?codec ~blank:"" xs in
+  let ty = Tape.Group.tape_of_list g ~name:"ys" ?codec ~blank:"" ys in
   attach_opt faults tx;
   attach_opt faults ty;
-  (tx, ty)
+  (tx, ty, codec)
 
-let check_sort ?budget ?faults ?retry ?obs inst =
-  let g = Tape.Group.create ?budget () in
+let check_sort ?budget ?faults ?retry ?obs ?device inst =
+  let g = Tape.Group.create ?budget ?device () in
   observe_opt obs g;
+  Fun.protect ~finally:(fun () -> Tape.Group.close_all g) @@ fun () ->
   let meter = Tape.Group.meter g in
   let m = I.m inst in
-  let tx, ty = instance_tapes ?faults g inst in
-  if m > 1 then sort_tape ?faults ?retry g tx ~len:m;
+  let tx, ty, codec = instance_tapes ?faults g inst in
+  if m > 1 then sort_tape ?faults ?retry ?codec g tx ~len:m;
   let ok =
     Tape.Meter.with_units meter 2 (fun () ->
         phase ?faults ?retry ~label:"compare" (fun () ->
@@ -236,15 +259,16 @@ let check_sort ?budget ?faults ?retry ?obs inst =
   in
   (ok, report_of g (I.size inst))
 
-let multiset_equality ?budget ?faults ?retry ?obs inst =
-  let g = Tape.Group.create ?budget () in
+let multiset_equality ?budget ?faults ?retry ?obs ?device inst =
+  let g = Tape.Group.create ?budget ?device () in
   observe_opt obs g;
+  Fun.protect ~finally:(fun () -> Tape.Group.close_all g) @@ fun () ->
   let meter = Tape.Group.meter g in
   let m = I.m inst in
-  let tx, ty = instance_tapes ?faults g inst in
+  let tx, ty, codec = instance_tapes ?faults g inst in
   if m > 1 then begin
-    sort_tape ?faults ?retry g tx ~len:m;
-    sort_tape ?faults ?retry g ty ~len:m
+    sort_tape ?faults ?retry ?codec g tx ~len:m;
+    sort_tape ?faults ?retry ?codec g ty ~len:m
   end;
   let ok =
     Tape.Meter.with_units meter 2 (fun () ->
@@ -257,15 +281,16 @@ let multiset_equality ?budget ?faults ?retry ?obs inst =
   in
   (ok, report_of g (I.size inst))
 
-let set_equality ?budget ?faults ?retry ?obs inst =
-  let g = Tape.Group.create ?budget () in
+let set_equality ?budget ?faults ?retry ?obs ?device inst =
+  let g = Tape.Group.create ?budget ?device () in
   observe_opt obs g;
+  Fun.protect ~finally:(fun () -> Tape.Group.close_all g) @@ fun () ->
   let meter = Tape.Group.meter g in
   let m = I.m inst in
-  let tx, ty = instance_tapes ?faults g inst in
+  let tx, ty, codec = instance_tapes ?faults g inst in
   if m > 1 then begin
-    sort_tape ?faults ?retry g tx ~len:m;
-    sort_tape ?faults ?retry g ty ~len:m
+    sort_tape ?faults ?retry ?codec g tx ~len:m;
+    sort_tape ?faults ?retry ?codec g ty ~len:m
   end;
   (* compare the deduplicated sorted streams with one carried item each *)
   let ok =
@@ -290,22 +315,25 @@ let set_equality ?budget ?faults ?retry ?obs inst =
   in
   (ok, report_of g (I.size inst))
 
-let decide ?budget ?faults ?retry ?obs problem inst =
+let decide ?budget ?faults ?retry ?obs ?device problem inst =
   match problem with
-  | Problems.Decide.Set_equality -> set_equality ?budget ?faults ?retry ?obs inst
+  | Problems.Decide.Set_equality ->
+      set_equality ?budget ?faults ?retry ?obs ?device inst
   | Problems.Decide.Multiset_equality ->
-      multiset_equality ?budget ?faults ?retry ?obs inst
-  | Problems.Decide.Check_sort -> check_sort ?budget ?faults ?retry ?obs inst
+      multiset_equality ?budget ?faults ?retry ?obs ?device inst
+  | Problems.Decide.Check_sort ->
+      check_sort ?budget ?faults ?retry ?obs ?device inst
 
-let disjoint ?budget ?faults ?retry ?obs inst =
-  let g = Tape.Group.create ?budget () in
+let disjoint ?budget ?faults ?retry ?obs ?device inst =
+  let g = Tape.Group.create ?budget ?device () in
   observe_opt obs g;
+  Fun.protect ~finally:(fun () -> Tape.Group.close_all g) @@ fun () ->
   let meter = Tape.Group.meter g in
   let m = I.m inst in
-  let tx, ty = instance_tapes ?faults g inst in
+  let tx, ty, codec = instance_tapes ?faults g inst in
   if m > 1 then begin
-    sort_tape ?faults ?retry g tx ~len:m;
-    sort_tape ?faults ?retry g ty ~len:m
+    sort_tape ?faults ?retry ?codec g tx ~len:m;
+    sort_tape ?faults ?retry ?codec g ty ~len:m
   end;
   let ok =
     Tape.Meter.with_units meter 3 (fun () ->

@@ -32,6 +32,16 @@
     reversal costs. Without [?faults] the retry machinery is skipped
     entirely and behaviour is bit-identical to the pre-fault code.
 
+    Every decider further accepts an optional device spec
+    ([?device]): with [Tape.Device.File _] or [Shard _] the data and
+    auxiliary tapes spill to backing storage behind a bounded cache —
+    the ST model at external N — while all counters, budgets, fault
+    hooks and ledgers behave identically to the in-RAM backend (the
+    backend-parity property the tests pin down). Spill files are
+    scratch: they are deleted when the decider returns. [?codec] on the
+    in-place sorts is the cell byte-format the group's device needs;
+    the wrappers derive it from the items automatically.
+
     Finally, every decider accepts an optional ledger recorder
     ([?obs]). The recorder observes the decider's private tape group —
     including every auxiliary tape the sort creates — so that after
@@ -52,6 +62,7 @@ type report = {
 val sort_tape :
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
+  ?codec:string Tape.Device.Codec.t ->
   Tape.Group.t -> string Tape.t -> len:int -> unit
 (** [sort_tape g t ~len] sorts the first [len] cells of [t]
     (lexicographically ascending, the CHECK-SORT order) in place, using
@@ -63,6 +74,7 @@ val sort_tape :
 val sort_tape_k :
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
+  ?codec:string Tape.Device.Codec.t ->
   Tape.Group.t -> string Tape.t -> len:int -> ways:int -> unit
 (** [ways]-way balanced merge sort ([ways ≥ 2]; {!sort_tape} is the
     2-way case): [ways] auxiliary tapes, [⌈log_ways len⌉] passes. The
@@ -77,6 +89,7 @@ val sort_k :
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
   ?obs:Obs.Ledger.Recorder.t ->
+  ?device:Tape.Device.spec ->
   ways:int -> string list -> string list * report
 (** Wrapper over {!sort_tape_k} with measured resources. *)
 
@@ -85,6 +98,7 @@ val sort :
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
   ?obs:Obs.Ledger.Recorder.t ->
+  ?device:Tape.Device.spec ->
   string list -> string list * report
 (** Convenience wrapper: sort a list of items through the tape
     machinery and report the measured resources. *)
@@ -94,6 +108,7 @@ val check_sort :
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
   ?obs:Obs.Ledger.Recorder.t ->
+  ?device:Tape.Device.spec ->
   Problems.Instance.t -> bool * report
 (** Corollary 7 algorithm for CHECK-SORT: sort the first half, then a
     single parallel scan against the second half. *)
@@ -103,6 +118,7 @@ val multiset_equality :
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
   ?obs:Obs.Ledger.Recorder.t ->
+  ?device:Tape.Device.spec ->
   Problems.Instance.t -> bool * report
 (** Sort both halves, compare pointwise. *)
 
@@ -111,6 +127,7 @@ val set_equality :
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
   ?obs:Obs.Ledger.Recorder.t ->
+  ?device:Tape.Device.spec ->
   Problems.Instance.t -> bool * report
 (** Sort both halves, compare with on-the-fly duplicate elimination
     (one carried item per stream). *)
@@ -120,6 +137,7 @@ val decide :
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
   ?obs:Obs.Ledger.Recorder.t ->
+  ?device:Tape.Device.spec ->
   Problems.Decide.problem -> Problems.Instance.t ->
   bool * report
 (** Dispatch on the problem. *)
@@ -129,6 +147,7 @@ val disjoint :
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
   ?obs:Obs.Ledger.Recorder.t ->
+  ?device:Tape.Device.spec ->
   Problems.Instance.t -> bool * report
 (** The DISJOINT-SETS problem (the paper's Section 9 open case): sort
     both halves, one merge scan looking for a common element. The same

@@ -123,7 +123,14 @@ module Retry = struct
 
   exception Gave_up of { label : string; attempts : int; last : exn }
 
-  let classify_default = function Transient_io _ -> Transient | _ -> Fatal
+  (* Real device I/O can fail transiently too: a byte-backed tape
+     surfaces interrupted syscalls as [Unix_error]s, and a restartable
+     phase recovers from those exactly as from an injected fault. *)
+  let classify_default = function
+    | Transient_io _ -> Transient
+    | Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Transient
+    | _ -> Fatal
   let is_transient e = classify_default e = Transient
 
   let default =

@@ -102,8 +102,10 @@ module Retry : sig
   (** 3 attempts, no backoff, {!classify_default}. *)
 
   val classify_default : exn -> classification
-  (** {!Transient_io} is [Transient]; everything else — including
-      {!Gave_up} and {!Tape.Budget_exceeded} — is [Fatal]. *)
+  (** {!Transient_io} is [Transient], as are the retryable device I/O
+      errors a byte-backed tape can surface ([Unix.EINTR]/[EAGAIN]/
+      [EWOULDBLOCK]); everything else — including {!Gave_up} and
+      {!Tape.Budget_exceeded} — is [Fatal]. *)
 
   val is_transient : exn -> bool
 

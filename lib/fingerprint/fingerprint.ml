@@ -25,15 +25,23 @@ let phase ?faults ?retry ~label f =
   | None -> f ()
   | Some p -> Faults.Retry.run ?policy:retry ~seed:(Faults.Plan.seed p) ~label f
 
-let run ?faults ?retry ?obs st inst =
-  let g = Tape.Group.create () in
+let run ?faults ?retry ?obs ?device st inst =
+  let g = Tape.Group.create ?device () in
   (match obs with None -> () | Some r -> Obs.Ledger.Recorder.observe r g);
   let meter = Tape.Group.meter g in
   let encoded = I.encode inst in
-  let tape =
-    Tape.Group.tape_of_list g ~name:"input" ~blank:'_'
-      (List.init (String.length encoded) (String.get encoded))
+  (* char cells have a byte codec for free, so the input tape follows
+     the group's device spec; the preload is device-level (no head
+     motion), so the decider still measures exactly two scans at any
+     backend — the Theorem 8(a) audit is backend-independent. *)
+  let codec =
+    match Tape.Group.device g with
+    | Tape.Device.Mem -> None
+    | _ -> Some Tape.Device.Codec.tuple_char
   in
+  let tape = Tape.Group.tape g ~name:"input" ?codec ~blank:'_' () in
+  Tape.preload_seq tape (String.to_seq encoded);
+  Fun.protect ~finally:(fun () -> Tape.Group.close_all g) @@ fun () ->
   (match faults with None -> () | Some p -> Faults.attach_char p tape);
   (* Under injection a read may return any symbol (a stuck read shows
      the blank); parse leniently then instead of rejecting the input. *)
@@ -131,8 +139,8 @@ let run ?faults ?retry ?obs st inst =
     },
     { m; n; input_size; k; p1; p2; x } )
 
-let decide ?faults ?retry ?obs st inst =
-  let accept, _, _ = run ?faults ?retry ?obs st inst in
+let decide ?faults ?retry ?obs ?device st inst =
+  let accept, _, _ = run ?faults ?retry ?obs ?device st inst in
   accept
 
 let amplified st ~rounds inst =

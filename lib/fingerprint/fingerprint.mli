@@ -40,6 +40,7 @@ val run :
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
   ?obs:Obs.Ledger.Recorder.t ->
+  ?device:Tape.Device.spec ->
   Random.State.t -> Problems.Instance.t -> bool * report * params
 (** Execute the algorithm on the encoded instance. With a fault plan
     attached ([?faults]) the input tape draws injected faults from the
@@ -51,12 +52,16 @@ val run :
     [report.scans]). Without [?faults], behaviour is bit-identical to
     the fault-free code. [?obs] registers the run's tape group with a
     ledger recorder for theorem-budget auditing ({!Obs.Audit}); without
-    it no observer is installed. *)
+    it no observer is installed. [?device] puts the input tape on a
+    byte-backed backend ([Tape.Device.File]/[Shard]) behind a bounded
+    cache — the two-scan decider at external N, with identical measured
+    counters; the spill is deleted when the run returns. *)
 
 val decide :
   ?faults:Faults.Plan.t ->
   ?retry:Faults.Retry.policy ->
   ?obs:Obs.Ledger.Recorder.t ->
+  ?device:Tape.Device.spec ->
   Random.State.t -> Problems.Instance.t -> bool
 (** Just the answer. *)
 

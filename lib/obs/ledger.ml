@@ -130,4 +130,21 @@ module Recorder = struct
       tapes;
       counters = Counters.diff (Counters.snapshot ()) ~since:r.baseline;
     }
+
+  (* Summed device stats over every observed group — how much backing
+     I/O and cache residency the run's tapes cost. Kept out of the
+     ledger record so the trace schema (and its pinned goldens) is
+     unchanged; E18 emits these through [Trace.emit_device]. *)
+  let device_stats r =
+    List.fold_left
+      (fun acc g ->
+        let s = Tape.Group.device_stats g in
+        Tape.Device.
+          {
+            resident_bytes = acc.resident_bytes + s.resident_bytes;
+            io_read_bytes = acc.io_read_bytes + s.io_read_bytes;
+            io_write_bytes = acc.io_write_bytes + s.io_write_bytes;
+            backing_files = acc.backing_files + s.backing_files;
+          })
+      Tape.Device.zero_stats r.groups
 end

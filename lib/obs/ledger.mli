@@ -66,4 +66,12 @@ module Recorder : sig
   (** Capture the ledger now. [n] records the input size for budget
       auditing (default 0). Can be called repeatedly; each call
       re-reads the live groups and counters. *)
+
+  val device_stats : t -> Tape.Device.stats
+  (** Summed {!Tape.Group.device_stats} over every observed group —
+      backing I/O bytes and cache residency. I/O counters survive the
+      tapes' [close], so this can be read after a decider returns.
+      Deliberately not part of {!ledger}: the trace schema (and its
+      pinned goldens) is unchanged; E18 emits these separately through
+      [Trace.emit_device]. *)
 end

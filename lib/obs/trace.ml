@@ -81,6 +81,21 @@ let audit_fields (o : Audit.outcome) =
 
 let emit_audit t o = emit t ~event:"audit" (audit_fields o)
 
+(* Device stats are deterministic for a fixed program: cache geometry
+   and access pattern fix the I/O byte counts, so the event keeps the
+   -j 1/2/4 bit-identity the sink promises. *)
+let device_fields ~label ~kind (s : Tape.Device.stats) =
+  [
+    ("label", String label);
+    ("kind", String kind);
+    ("resident_bytes", Int s.Tape.Device.resident_bytes);
+    ("io_read_bytes", Int s.Tape.Device.io_read_bytes);
+    ("io_write_bytes", Int s.Tape.Device.io_write_bytes);
+    ("backing_files", Int s.Tape.Device.backing_files);
+  ]
+
+let emit_device t ~label ~kind s = emit t ~event:"device" (device_fields ~label ~kind s)
+
 (* main-domain only, like the sink itself *)
 let current_sink = ref None
 
@@ -95,6 +110,9 @@ let ledger_current l =
 
 let audit_current o =
   match !current_sink with None -> () | Some t -> emit_audit t o
+
+let device_current ~label ~kind s =
+  match !current_sink with None -> () | Some t -> emit_device t ~label ~kind s
 
 let with_sink t f =
   let saved = !current_sink in

@@ -25,7 +25,13 @@
       {!Ledger};
     - [{"event":"audit","spec":..,"n":..,"ok":..,
        "<resource>_measured":..,"<resource>_allowed":..}] — one
-      {!Audit} outcome. *)
+      {!Audit} outcome;
+    - [{"event":"device","label":..,"kind":..,"resident_bytes":..,
+       "io_read_bytes":..,"io_write_bytes":..,"backing_files":..}] —
+      one tape group's summed {!Tape.Device.stats} (E18 emits these
+      for its external-memory rows; cache geometry and access pattern
+      fix the byte counts, so the event is as deterministic as the
+      rest of the stream). *)
 
 type t
 
@@ -45,6 +51,8 @@ val close : t -> unit
 val emit_ledger : t -> Ledger.t -> unit
 val emit_audit : t -> Audit.outcome -> unit
 
+val emit_device : t -> label:string -> kind:string -> Tape.Device.stats -> unit
+
 (** {2 Current-sink plumbing}
 
     The experiment harness is a call tree, not a value pipeline;
@@ -59,6 +67,7 @@ val current : unit -> t option
 val emit_current : event:string -> (string * value) list -> unit
 val ledger_current : Ledger.t -> unit
 val audit_current : Audit.outcome -> unit
+val device_current : label:string -> kind:string -> Tape.Device.stats -> unit
 
 val with_sink : t -> (unit -> 'a) -> 'a
 (** Install the sink, run, restore the previous sink, close this one. *)

@@ -1,0 +1,424 @@
+(* Pluggable storage backends for tapes.
+
+   A device is the dumb cell store underneath a tape: get/set by
+   position, extent, sync, close.  Everything the cost model cares
+   about — head position, direction, reversal counting, budgets, fault
+   injection, observers — lives above this seam in [Tape], so swapping
+   the backend cannot change any measured number.
+
+   Three backends:
+   - [Mem]: the original growable in-RAM array (the default, and the
+     fallback when no byte codec is available for the cell type);
+   - [File]: one flat file of fixed-size slots behind a direct-mapped
+     block cache with sequential read-ahead;
+   - [Shard]: a directory of run files, each the concatenation of
+     self-delimiting tuple-framed cells (Extsort's spill format; the
+     frames are order-preserving so merges compare cells bytewise). *)
+
+type stats = {
+  resident_bytes : int;  (** bytes currently cached in RAM *)
+  io_read_bytes : int;
+  io_write_bytes : int;
+  backing_files : int;  (** files on disk (0 for the mem backend) *)
+}
+
+let zero_stats =
+  { resident_bytes = 0; io_read_bytes = 0; io_write_bytes = 0; backing_files = 0 }
+
+type 'a t = {
+  dev_kind : string;
+  dev_get : int -> 'a;
+  dev_set : int -> 'a -> unit;
+  dev_extent : unit -> int;
+  dev_sync : unit -> unit;
+  dev_close : unit -> unit;
+  dev_stats : unit -> stats;
+}
+
+let kind d = d.dev_kind
+let get d i = d.dev_get i
+let set d i v = d.dev_set i v
+let extent d = d.dev_extent ()
+let sync d = d.dev_sync ()
+let close d = d.dev_close ()
+let stats d = d.dev_stats ()
+
+module Codec = struct
+  (* How cells of type ['a] become bytes.  [encode]'s output must be at
+     most [max_bytes] long (the file backend sizes its slots with it);
+     [decode buf pos] returns the value together with the offset just
+     past its encoding, so shard files need no cell index. *)
+  type 'a codec = {
+    encode : 'a -> string;
+    decode : string -> int -> 'a * int;
+    max_bytes : int;
+  }
+
+  type 'a t = 'a codec
+
+  let tuple_string ~max_len =
+    {
+      encode = (fun s -> Tuple.pack_str s);
+      decode =
+        (fun buf pos ->
+          match Tuple.decode_elt buf pos with
+          | Tuple.Str s, stop -> (s, stop)
+          | Tuple.Int _, _ -> raise (Tuple.Malformed "expected Str cell"));
+      (* worst case: every byte escaped, plus code + terminator *)
+      max_bytes = (2 * max_len) + 2;
+    }
+
+  let tuple_int =
+    {
+      encode = (fun n -> Tuple.pack_int n);
+      decode =
+        (fun buf pos ->
+          match Tuple.decode_elt buf pos with
+          | Tuple.Int n, stop -> (n, stop)
+          | Tuple.Str _, _ -> raise (Tuple.Malformed "expected Int cell"));
+      max_bytes = 9;
+    }
+
+  let tuple_char =
+    {
+      encode = (fun c -> Tuple.pack_int (Char.code c));
+      decode =
+        (fun buf pos ->
+          match Tuple.decode_elt buf pos with
+          | Tuple.Int n, stop -> (Char.chr (n land 0xff), stop)
+          | Tuple.Str _, _ -> raise (Tuple.Malformed "expected char cell"));
+      max_bytes = 2;
+    }
+end
+
+type spec =
+  | Mem
+  | File of { dir : string; block_bytes : int; cache_blocks : int }
+  | Shard of { dir : string; shard_bytes : int; cache_shards : int }
+
+let mem_spec = Mem
+let file_spec ?(block_bytes = 1 lsl 16) ?(cache_blocks = 16) dir =
+  File { dir; block_bytes; cache_blocks }
+let shard_spec ?(shard_bytes = 1 lsl 20) ?(cache_shards = 2) dir =
+  Shard { dir; shard_bytes; cache_shards }
+
+let pp_spec ppf = function
+  | Mem -> Format.fprintf ppf "mem"
+  | File { dir; block_bytes; cache_blocks } ->
+      Format.fprintf ppf "file(%s, block=%dB, cache=%d)" dir block_bytes
+        cache_blocks
+  | Shard { dir; shard_bytes; cache_shards } ->
+      Format.fprintf ppf "shard(%s, shard=%dB, cache=%d)" dir shard_bytes
+        cache_shards
+
+(* ------------------------------------------------------------------ *)
+(* Mem: the original growable array.                                   *)
+
+let mem ~blank =
+  let cells = ref (Array.make 16 blank) in
+  let hi = ref 0 in
+  let grow pos =
+    if pos >= Array.length !cells then begin
+      let cap = max (pos + 1) (2 * Array.length !cells) in
+      let fresh = Array.make cap blank in
+      Array.blit !cells 0 fresh 0 (Array.length !cells);
+      cells := fresh
+    end
+  in
+  {
+    dev_kind = "mem";
+    dev_get = (fun i -> if i < Array.length !cells then !cells.(i) else blank);
+    dev_set =
+      (fun i v ->
+        grow i;
+        !cells.(i) <- v;
+        if i >= !hi then hi := i + 1);
+    dev_extent = (fun () -> !hi);
+    dev_sync = (fun () -> ());
+    dev_close = (fun () -> ());
+    dev_stats =
+      (fun () ->
+        { zero_stats with resident_bytes = Array.length !cells * 8 });
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Shared plumbing for the on-disk backends.                           *)
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let sanitize name =
+  String.map (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c | _ -> '-')
+    name
+
+(* unique backing-file names even when two tapes share a name *)
+let file_counter = Atomic.make 0
+
+let pread fd buf ~off =
+  ignore (Unix.LargeFile.lseek fd (Int64.of_int off) Unix.SEEK_SET);
+  let len = Bytes.length buf in
+  let rec go done_ =
+    if done_ < len then
+      let n = Unix.read fd buf done_ (len - done_) in
+      if n = 0 then begin
+        (* past EOF: the rest of the block is blank *)
+        Bytes.fill buf done_ (len - done_) '\x00';
+        len
+      end
+      else go (done_ + n)
+    else len
+  in
+  go 0
+
+let pwrite fd buf ~off =
+  ignore (Unix.LargeFile.lseek fd (Int64.of_int off) Unix.SEEK_SET);
+  let len = Bytes.length buf in
+  let rec go done_ =
+    if done_ < len then go (done_ + Unix.write fd buf done_ (len - done_))
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* File: fixed-size slots, direct-mapped block cache, read-ahead.      *)
+
+type block = {
+  mutable blk : int; (* block index, -1 = empty *)
+  mutable dirty : bool;
+  buf : Bytes.t;
+}
+
+let file (type a) ~dir ~block_bytes ~cache_blocks ~(codec : a Codec.t)
+    ~(blank : a) ~name : a t =
+  mkdir_p dir;
+  let id = Atomic.fetch_and_add file_counter 1 in
+  let path = Filename.concat dir (Printf.sprintf "%s-%d.tape" (sanitize name) id) in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  (* slot = 2-byte big-endian payload length + payload; length 0 means
+     never written, so a fresh (sparse) region reads as blank *)
+  let slot_bytes = codec.Codec.max_bytes + 2 in
+  let slots_per_block = max 1 (block_bytes / slot_bytes) in
+  let bbytes = slots_per_block * slot_bytes in
+  let cache =
+    Array.init (max 1 cache_blocks) (fun _ ->
+        { blk = -1; dirty = false; buf = Bytes.create bbytes })
+  in
+  let nlines = Array.length cache in
+  let hi = ref 0 in
+  let io_r = ref 0 and io_w = ref 0 in
+  let last_loaded = ref (-2) in
+  let flush line =
+    if line.dirty then begin
+      pwrite fd line.buf ~off:(line.blk * bbytes);
+      io_w := !io_w + bbytes;
+      line.dirty <- false
+    end
+  in
+  let load line b =
+    ignore (pread fd line.buf ~off:(b * bbytes));
+    io_r := !io_r + bbytes;
+    line.blk <- b
+  in
+  let line_for b =
+    let line = cache.(b mod nlines) in
+    if line.blk <> b then begin
+      flush line;
+      let sequential = b = !last_loaded + 1 in
+      load line b;
+      last_loaded := b;
+      (* sequential scan: pull the next block in while the disk head is
+         here, provided its cache line is idle *)
+      if sequential && nlines > 1 then begin
+        let nb = b + 1 in
+        let nline = cache.(nb mod nlines) in
+        if nline.blk <> nb && not nline.dirty then load nline nb
+      end
+    end
+    else last_loaded := b;
+    line
+  in
+  let slot_off i = i mod slots_per_block * slot_bytes in
+  {
+    dev_kind = "file";
+    dev_get =
+      (fun i ->
+        let line = line_for (i / slots_per_block) in
+        let off = slot_off i in
+        let len = (Char.code (Bytes.get line.buf off) lsl 8)
+                  lor Char.code (Bytes.get line.buf (off + 1)) in
+        if len = 0 then blank
+        else
+          let s = Bytes.sub_string line.buf (off + 2) len in
+          fst (codec.Codec.decode s 0));
+    dev_set =
+      (fun i v ->
+        let line = line_for (i / slots_per_block) in
+        let off = slot_off i in
+        let enc = codec.Codec.encode v in
+        let len = String.length enc in
+        if len > codec.Codec.max_bytes then
+          invalid_arg "Device.file: encoded cell exceeds codec max_bytes";
+        Bytes.set line.buf off (Char.chr (len lsr 8));
+        Bytes.set line.buf (off + 1) (Char.chr (len land 0xff));
+        Bytes.blit_string enc 0 line.buf (off + 2) len;
+        (* zero the slack so the backing file is deterministic *)
+        Bytes.fill line.buf (off + 2 + len) (codec.Codec.max_bytes - len) '\x00';
+        line.dirty <- true;
+        if i >= !hi then hi := i + 1);
+    dev_extent = (fun () -> !hi);
+    dev_sync = (fun () -> Array.iter flush cache);
+    dev_close =
+      (fun () ->
+        Array.iter flush cache;
+        Unix.close fd;
+        try Sys.remove path with Sys_error _ -> ());
+    dev_stats =
+      (fun () ->
+        {
+          resident_bytes = nlines * bbytes;
+          io_read_bytes = !io_r;
+          io_write_bytes = !io_w;
+          backing_files = 1;
+        });
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Shard: directory of run files of self-delimiting framed cells.      *)
+
+(* In-cache image of one shard: the decoded cells plus a written map.
+   On disk each cell is a 1-byte presence flag (0x00 = blank, 0x01 =
+   present) followed, when present, by the codec's self-delimiting
+   encoding — so a fully-written run file is exactly the concatenation
+   of order-preserving cell encodings interleaved with 0x01 flags, and
+   boundaries are recovered by [codec.decode]'s consumed offsets. *)
+type 'a shard = {
+  mutable sh : int; (* shard index, -1 = empty *)
+  mutable sh_dirty : bool;
+  vals : 'a array;
+  present : Bytes.t;
+}
+
+let shard (type a) ~dir ~shard_bytes ~cache_shards ~(codec : a Codec.t)
+    ~(blank : a) ~name : a t =
+  mkdir_p dir;
+  let id = Atomic.fetch_and_add file_counter 1 in
+  let base = Filename.concat dir (Printf.sprintf "%s-%d" (sanitize name) id) in
+  mkdir_p base;
+  (* cells per shard from the target shard size and the worst-case cell *)
+  let cells = max 16 (shard_bytes / (codec.Codec.max_bytes + 1)) in
+  let cache =
+    Array.init (max 1 cache_shards) (fun _ ->
+        {
+          sh = -1;
+          sh_dirty = false;
+          vals = Array.make cells blank;
+          present = Bytes.make cells '\x00';
+        })
+  in
+  let nlines = Array.length cache in
+  let hi = ref 0 in
+  let io_r = ref 0 and io_w = ref 0 in
+  let nfiles = ref 0 in
+  let path s = Filename.concat base (Printf.sprintf "run-%06d.shard" s) in
+  let flush line =
+    if line.sh_dirty then begin
+      let buf = Buffer.create (cells * 2) in
+      for i = 0 to cells - 1 do
+        if Bytes.get line.present i = '\x00' then Buffer.add_char buf '\x00'
+        else begin
+          Buffer.add_char buf '\x01';
+          Buffer.add_string buf (codec.Codec.encode line.vals.(i))
+        end
+      done;
+      let p = path line.sh in
+      if not (Sys.file_exists p) then incr nfiles;
+      let oc = Out_channel.open_bin p in
+      Out_channel.output_string oc (Buffer.contents buf);
+      Out_channel.close oc;
+      io_w := !io_w + Buffer.length buf;
+      line.sh_dirty <- false
+    end
+  in
+  let load line s =
+    Array.fill line.vals 0 cells blank;
+    Bytes.fill line.present 0 cells '\x00';
+    let p = path s in
+    (if Sys.file_exists p then begin
+       let ic = In_channel.open_bin p in
+       let data = In_channel.input_all ic in
+       In_channel.close ic;
+       io_r := !io_r + String.length data;
+       let pos = ref 0 in
+       let i = ref 0 in
+       while !pos < String.length data && !i < cells do
+         (match data.[!pos] with
+         | '\x00' -> incr pos
+         | _ ->
+             let v, stop = codec.Codec.decode data (!pos + 1) in
+             line.vals.(!i) <- v;
+             Bytes.set line.present !i '\x01';
+             pos := stop);
+         incr i
+       done
+     end);
+    line.sh <- s
+  in
+  let line_for s =
+    let line = cache.(s mod nlines) in
+    if line.sh <> s then begin
+      flush line;
+      load line s
+    end;
+    line
+  in
+  {
+    dev_kind = "shard";
+    dev_get =
+      (fun i ->
+        let line = line_for (i / cells) in
+        let j = i mod cells in
+        if Bytes.get line.present j = '\x00' then blank else line.vals.(j));
+    dev_set =
+      (fun i v ->
+        let line = line_for (i / cells) in
+        let j = i mod cells in
+        line.vals.(j) <- v;
+        Bytes.set line.present j '\x01';
+        line.sh_dirty <- true;
+        if i >= !hi then hi := i + 1);
+    dev_extent = (fun () -> !hi);
+    dev_sync = (fun () -> Array.iter flush cache);
+    dev_close =
+      (fun () ->
+        (try
+           let files = Sys.readdir base in
+           Array.iter (fun f -> try Sys.remove (Filename.concat base f) with Sys_error _ -> ()) files;
+           Unix.rmdir base
+         with Sys_error _ | Unix.Unix_error _ -> ()));
+    dev_stats =
+      (fun () ->
+        {
+          resident_bytes = nlines * cells * (codec.Codec.max_bytes + 1);
+          io_read_bytes = !io_r;
+          io_write_bytes = !io_w;
+          backing_files = !nfiles;
+        });
+  }
+
+let instantiate (type a) ?(codec : a Codec.t option) spec ~(blank : a) ~name :
+    a t =
+  match (spec, codec) with
+  | Mem, _ | _, None ->
+      (* byte-backed backends need a codec; without one the tape is
+         honest RAM — the caller keeps working, just not externally *)
+      mem ~blank
+  | File { dir; block_bytes; cache_blocks }, Some codec ->
+      file ~dir ~block_bytes ~cache_blocks ~codec ~blank ~name
+  | Shard { dir; shard_bytes; cache_shards }, Some codec ->
+      shard ~dir ~shard_bytes ~cache_shards ~codec ~blank ~name

@@ -1,0 +1,97 @@
+(** Pluggable storage backends for tapes — the seam that lets the same
+    instrumented head run over RAM, a flat file, or a directory of run
+    files, with identical cost accounting.
+
+    A device is a dumb cell store: get/set by position, extent, sync,
+    close. Head position, direction, reversal counting, budgets, fault
+    injection and observers all live {e above} this seam in [Tape], so
+    swapping the backend cannot change any measured number — the
+    backend-parity property the test suite pins down. *)
+
+type stats = {
+  resident_bytes : int;  (** bytes currently cached in RAM *)
+  io_read_bytes : int;  (** bytes read from backing storage so far *)
+  io_write_bytes : int;  (** bytes written to backing storage so far *)
+  backing_files : int;  (** files on disk (0 for the mem backend) *)
+}
+
+val zero_stats : stats
+
+type 'a t
+(** A cell store for values of type ['a]. Positions are 0-based;
+    reading a never-written position yields the blank. *)
+
+val kind : 'a t -> string
+(** ["mem"], ["file"] or ["shard"]. *)
+
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+
+val extent : 'a t -> int
+(** One past the highest position ever written (0 if none). *)
+
+val sync : 'a t -> unit
+(** Flush dirty cached state to backing storage. No-op for [mem]. *)
+
+val close : 'a t -> unit
+(** Flush and release the backing storage ({e deleting} backing files —
+    a tape's spill is scratch space, not a persistent artifact). *)
+
+val stats : 'a t -> stats
+
+(** How cells become bytes. Byte-backed devices need one; the mem
+    backend does not. *)
+module Codec : sig
+  type 'a codec = {
+    encode : 'a -> string;
+        (** at most [max_bytes] long; order-preserving encoders (the
+            {!Tuple} ones) make sorted runs bytewise-comparable *)
+    decode : string -> int -> 'a * int;
+        (** [decode buf pos] returns the value whose encoding starts at
+            [pos] together with the offset just past it — encodings
+            must be self-delimiting *)
+    max_bytes : int;
+  }
+
+  type 'a t = 'a codec
+
+  val tuple_string : max_len:int -> string t
+  (** Cells are strings of length [<= max_len], framed as
+      {!Tuple.pack_str} — bytewise comparison of stored cells agrees
+      with [String.compare] on the values. *)
+
+  val tuple_int : int t
+  val tuple_char : char t
+end
+
+(** A backend recipe: what to build when a tape is created. *)
+type spec =
+  | Mem
+  | File of { dir : string; block_bytes : int; cache_blocks : int }
+      (** one flat file of fixed-size slots (2-byte length prefix +
+          payload, slot size from the codec's [max_bytes]) behind a
+          direct-mapped block cache with sequential read-ahead *)
+  | Shard of { dir : string; shard_bytes : int; cache_shards : int }
+      (** a directory of run files, each the concatenation of
+          presence-flagged self-delimiting cell encodings; whole shards
+          load and rewrite on cache eviction, so sequential run writes
+          touch each file once per pass *)
+
+val mem_spec : spec
+val file_spec : ?block_bytes:int -> ?cache_blocks:int -> string -> spec
+(** Defaults: 64 KiB blocks, 16 cached blocks. *)
+
+val shard_spec : ?shard_bytes:int -> ?cache_shards:int -> string -> spec
+(** Defaults: 1 MiB shards, 2 cached shards. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+
+val mem : blank:'a -> 'a t
+(** The original growable in-RAM array. *)
+
+val instantiate : ?codec:'a Codec.t -> spec -> blank:'a -> name:string -> 'a t
+(** Build the backend a spec describes. [File]/[Shard] require a
+    [codec]; without one the result falls back to {!mem} (the tape
+    still works, just not externally). Backing files are created under
+    the spec's directory, uniquely named per tape, and removed on
+    {!close}. *)

@@ -1,3 +1,9 @@
+(* Re-exports: the byte-level cell format and the storage backends live
+   in sibling modules; [Tape.Tuple] / [Tape.Device] is their public
+   address. *)
+module Tuple = Tuple
+module Device = Device
+
 type direction = Left | Right
 
 exception Budget_exceeded of string
@@ -73,6 +79,9 @@ type member = {
   m_cells : unit -> int;
   m_faults : unit -> int;
   m_set_observer : Observer.t option -> unit;
+  m_sync : unit -> unit;
+  m_close : unit -> unit;
+  m_stats : unit -> Device.stats;
 }
 
 type group_state = {
@@ -82,13 +91,14 @@ type group_state = {
   mutable g_fail_fast : bool;
   mutable scan_overruns : int;
   mutable g_observer : (string -> Observer.t) option;
+  g_device : Device.spec;
 }
 
 type 'a t = {
   name : string;
   blank : 'a;
-  mutable cells : 'a array;
-  mutable used : int;
+  dev : 'a Device.t;
+  mutable used : int; (* highest position visited or written, plus one *)
   mutable pos : int;
   mutable dir : direction;
   mutable revs : int;
@@ -102,14 +112,15 @@ type 'a t = {
    parallel harness, and a plain ref would race *)
 let fresh_counter = Atomic.make 0
 
-let create ?name ~blank () =
+let create ?name ?device ~blank () =
   let id = Atomic.fetch_and_add fresh_counter 1 + 1 in
   let name = match name with Some n -> n | None -> Printf.sprintf "tape%d" id
   in
+  let dev = match device with Some d -> d | None -> Device.mem ~blank in
   {
     name;
     blank;
-    cells = Array.make 16 blank;
+    dev;
     used = 0;
     pos = 0;
     dir = Right;
@@ -120,26 +131,31 @@ let create ?name ~blank () =
     observer = None;
   }
 
-let touch tp pos =
-  if pos >= tp.used then tp.used <- pos + 1;
-  if pos >= Array.length tp.cells then begin
-    let cap = max (pos + 1) (2 * Array.length tp.cells) in
-    let fresh = Array.make cap tp.blank in
-    Array.blit tp.cells 0 fresh 0 (Array.length tp.cells);
-    tp.cells <- fresh
-  end
+let touch tp pos = if pos >= tp.used then tp.used <- pos + 1
 
-let of_list ?name ~blank items =
-  let tp = create ?name ~blank () in
-  List.iteri
+(* Device-level fill: no head movement, no reversal, no observer or
+   injection traffic — the cost-free "the input is already on the tape"
+   premise every experiment starts from, at any backend. *)
+let preload_seq tp items =
+  Seq.iteri
     (fun i x ->
       touch tp i;
-      tp.cells.(i) <- x)
-    items;
+      Device.set tp.dev i x)
+    items
+
+let preload tp items = preload_seq tp (List.to_seq items)
+
+let of_list ?name ?device ~blank items =
+  let tp = create ?name ?device ~blank () in
+  preload tp items;
   tp
 
 let name tp = tp.name
 let blank tp = tp.blank
+let device_kind tp = Device.kind tp.dev
+let device_stats tp = Device.stats tp.dev
+let sync tp = Device.sync tp.dev
+let close tp = Device.close tp.dev
 
 let set_injection tp h = tp.injection <- h
 let faults tp = tp.faults
@@ -161,7 +177,7 @@ let observe_move tp dir =
 
 let read tp =
   touch tp tp.pos;
-  let v = tp.cells.(tp.pos) in
+  let v = Device.get tp.dev tp.pos in
   match tp.injection with
   | None ->
       observe_read tp;
@@ -184,16 +200,16 @@ let write tp x =
   touch tp tp.pos;
   match tp.injection with
   | None ->
-      tp.cells.(tp.pos) <- x;
+      Device.set tp.dev tp.pos x;
       observe_write tp
   | Some h -> (
       match h.Injection.on_write ~pos:tp.pos x with
       | Injection.Write_ok ->
-          tp.cells.(tp.pos) <- x;
+          Device.set tp.dev tp.pos x;
           observe_write tp
       | Injection.Write_value x' ->
           tp.faults <- tp.faults + 1;
-          tp.cells.(tp.pos) <- x';
+          Device.set tp.dev tp.pos x';
           observe_write tp
       | Injection.Write_drop ->
           (* torn write: the old cell content survives *)
@@ -251,14 +267,32 @@ let cells_used tp = tp.used
 
 (* Invariant: a head already at position 0 — in particular the initial
    head, still moving Right — issues no move, so rewinding it charges no
-   reversal and leaves the direction untouched. *)
+   reversal and leaves the direction untouched.
+
+   Fast path: with no injection hook and no observer installed, nobody
+   is entitled to see the individual [move Left] steps, so the seek is
+   constant-time. It replicates the per-cell loop's accounting exactly,
+   including the failure state: the loop's first leftward move charges
+   the reversal and checks the scan budget BEFORE the position changes,
+   so on [Budget_exceeded] the head must still be at its old position
+   with [dir = Left] and the reversal recorded. A hooked tape takes the
+   loop so fault plans (and move counters) still see every step. *)
 let rewind tp =
   if tp.pos > 0 then
-    while tp.pos > 0 do
-      move tp Left
-    done
+    match (tp.injection, tp.observer) with
+    | None, None ->
+        if tp.dir <> Left then begin
+          tp.revs <- tp.revs + 1;
+          tp.dir <- Left;
+          check_scan_budget tp
+        end;
+        tp.pos <- 0
+    | _ ->
+        while tp.pos > 0 do
+          move tp Left
+        done
 
-let to_list tp = Array.to_list (Array.sub tp.cells 0 tp.used)
+let to_list tp = List.init tp.used (Device.get tp.dev)
 
 let iter_right tp f =
   (* capture the content boundary first: moving right extends [used] *)
@@ -269,7 +303,6 @@ let iter_right tp f =
   done
 
 let tape_create = create
-let tape_of_list' = of_list
 
 module Group = struct
   type t = group_state
@@ -278,7 +311,8 @@ module Group = struct
 
   let unlimited = { max_scans = None; max_internal = None }
 
-  let create ?(fail_fast = true) ?(budget = unlimited) () =
+  let create ?(fail_fast = true) ?(budget = unlimited) ?(device = Device.Mem) ()
+      =
     let meter = Meter.create () in
     meter.Meter.limit <- budget.max_internal;
     meter.Meter.fail_fast <- fail_fast;
@@ -289,7 +323,10 @@ module Group = struct
       g_fail_fast = fail_fast;
       scan_overruns = 0;
       g_observer = None;
+      g_device = device;
     }
+
+  let device g = g.g_device
 
   let add_tape g tp =
     (match tp.group with
@@ -306,6 +343,9 @@ module Group = struct
         m_cells = (fun () -> tp.used);
         m_faults = (fun () -> tp.faults);
         m_set_observer = (fun o -> tp.observer <- o);
+        m_sync = (fun () -> Device.sync tp.dev);
+        m_close = (fun () -> Device.close tp.dev);
+        m_stats = (fun () -> Device.stats tp.dev);
       }
       :: g.members
 
@@ -317,15 +357,44 @@ module Group = struct
           (match factory with None -> None | Some f -> Some (f m.m_name)))
       g.members
 
-  let tape g ?name ~blank () =
-    let tp = tape_create ?name ~blank () in
+  (* A codec opts the tape into the group's device spec; without one the
+     cell type has no byte format, so the tape stays in RAM. *)
+  let tape g ?name ?codec ~blank () =
+    let tp =
+      match (g.g_device, codec) with
+      | Device.Mem, _ | _, None -> tape_create ?name ~blank ()
+      | spec, Some codec ->
+          let id = Atomic.fetch_and_add fresh_counter 1 + 1 in
+          let name =
+            match name with Some n -> n | None -> Printf.sprintf "tape%d" id
+          in
+          let dev = Device.instantiate ~codec spec ~blank ~name in
+          tape_create ~name ~device:dev ~blank ()
+    in
     add_tape g tp;
     tp
 
-  let tape_of_list g ?name ~blank items =
-    let tp = tape_of_list' ?name ~blank items in
-    add_tape g tp;
+  let tape_of_list g ?name ?codec ~blank items =
+    let tp = tape g ?name ?codec ~blank () in
+    preload tp items;
     tp
+
+  let sync_all g = List.iter (fun m -> m.m_sync ()) g.members
+
+  let close_all g = List.iter (fun m -> m.m_close ()) g.members
+
+  let device_stats g =
+    List.fold_left
+      (fun acc m ->
+        let s = m.m_stats () in
+        Device.
+          {
+            resident_bytes = acc.resident_bytes + s.resident_bytes;
+            io_read_bytes = acc.io_read_bytes + s.io_read_bytes;
+            io_write_bytes = acc.io_write_bytes + s.io_write_bytes;
+            backing_files = acc.backing_files + s.backing_files;
+          })
+      Device.zero_stats g.members
 
   let meter g = g.g_meter
   let total_reversals = total_group_reversals

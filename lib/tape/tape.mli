@@ -12,7 +12,18 @@
     {!Group} that aggregates both against an optional budget so that an
     algorithm implemented on this substrate is {e resource-sound by
     construction}: its reported scan count and internal-memory peak are
-    measured, not claimed. *)
+    measured, not claimed.
+
+    Cell storage is pluggable: a tape's cells live on a {!Device} —
+    RAM (the default), a block-cached flat file, or a sharded run
+    directory — while all accounting stays up here, so the measured
+    numbers are backend-independent by construction. *)
+
+module Tuple = Tuple
+(** Order-preserving, self-delimiting cell encoding — see {!Tuple}. *)
+
+module Device = Device
+(** Pluggable cell-storage backends — see {!Device}. *)
 
 type direction = Left | Right
 
@@ -26,11 +37,33 @@ exception Budget_exceeded of string
 (** Raised by any movement or allocation that would exceed the enclosing
     {!Group}'s budget. The payload describes the violated resource. *)
 
-val create : ?name:string -> blank:'a -> unit -> 'a t
-(** An empty tape. [name] appears in reports and error messages. *)
+val create : ?name:string -> ?device:'a Device.t -> blank:'a -> unit -> 'a t
+(** An empty tape. [name] appears in reports and error messages.
+    [device] selects the cell store (default: in-RAM array). *)
 
-val of_list : ?name:string -> blank:'a -> 'a list -> 'a t
+val of_list : ?name:string -> ?device:'a Device.t -> blank:'a -> 'a list -> 'a t
 (** A tape pre-loaded with the given cells starting at position 0. *)
+
+val preload : 'a t -> 'a list -> unit
+(** Fill cells [0 .. length - 1] at the device level: no head movement,
+    no reversal, no injection or observer traffic — the cost-free "the
+    input is already on the tape" premise of the model, available on
+    every backend. *)
+
+val preload_seq : 'a t -> 'a Seq.t -> unit
+(** {!preload} from a sequence — fills huge external tapes without
+    materializing an intermediate list. *)
+
+val sync : 'a t -> unit
+(** Flush the device's dirty cached state to backing storage. *)
+
+val close : 'a t -> unit
+(** Flush and release the device (deleting any backing files). *)
+
+val device_kind : 'a t -> string
+(** ["mem"], ["file"] or ["shard"]. *)
+
+val device_stats : 'a t -> Device.stats
 
 val name : 'a t -> string
 
@@ -71,7 +104,15 @@ val rewind : 'a t -> unit
     head still moving {!Right} — issues no movement at all, so the call
     charges no reversal and the head direction is unchanged. Restart
     code (the fault layer's retried scans) relies on this: prefixing a
-    forward scan with [rewind] is free when nothing needs rewinding. *)
+    forward scan with [rewind] is free when nothing needs rewinding.
+
+    {b Fast path}: when the tape has neither an injection hook nor an
+    observer, the rewind is a constant-time seek with identical
+    accounting (one reversal if the head was moving right, budget
+    checked before the position changes — so a {!Budget_exceeded} run
+    observes the same tape state the per-cell loop would leave). With a
+    hook installed the per-cell loop runs, so fault plans and move
+    counters see every step. *)
 
 val to_list : 'a t -> 'a list
 (** Cells [0 .. cells_used - 1] as a list (includes blanks). *)
@@ -184,12 +225,19 @@ module Group : sig
 
   val unlimited : budget
 
-  val create : ?fail_fast:bool -> ?budget:budget -> unit -> t
+  val create :
+    ?fail_fast:bool -> ?budget:budget -> ?device:Device.spec -> unit -> t
   (** [~fail_fast:false] (default [true]) makes budget violations —
       both the scan bound and the meter's internal-memory bound —
       accumulate in [report.budget_overruns] instead of raising
       {!Budget_exceeded}: the fault layer's escape hatch for runs that
-      must survive to the end of a recovery. *)
+      must survive to the end of a recovery.
+
+      [device] (default {!Device.Mem}) is the backend recipe for member
+      tapes created through {!tape}/{!tape_of_list} {e with a codec}:
+      the group owns the policy, each call site owns the byte format. *)
+
+  val device : t -> Device.spec
 
   val add_tape : t -> 'a tape -> unit
   (** Register a tape; all its subsequent reversals count toward the
@@ -204,10 +252,25 @@ module Group : sig
       auxiliary tapes an algorithm creates internally. [None] removes
       the observers from all members. *)
 
-  val tape : t -> ?name:string -> blank:'a -> unit -> 'a tape
-  (** Create and register in one step. *)
+  val tape :
+    t -> ?name:string -> ?codec:'a Device.Codec.t -> blank:'a -> unit -> 'a tape
+  (** Create and register in one step. A [codec] opts the tape into the
+      group's {!device} spec; without one (or under {!Device.Mem}) the
+      tape's cells stay in RAM. *)
 
-  val tape_of_list : t -> ?name:string -> blank:'a -> 'a list -> 'a tape
+  val tape_of_list :
+    t -> ?name:string -> ?codec:'a Device.Codec.t -> blank:'a -> 'a list ->
+    'a tape
+  (** {!tape} followed by a device-level {!preload} — no head motion. *)
+
+  val sync_all : t -> unit
+  (** {!Tape.sync} every member tape. *)
+
+  val close_all : t -> unit
+  (** {!Tape.close} every member tape (deleting backing files). *)
+
+  val device_stats : t -> Device.stats
+  (** Member devices' stats, summed. *)
 
   val meter : t -> Meter.t
 

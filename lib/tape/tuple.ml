@@ -1,0 +1,169 @@
+(* Order-preserving tuple encoding for byte-backed tape devices.
+
+   The layout follows the FoundationDB tuple layer: every element is
+   emitted with a leading type code chosen so that [String.compare] on
+   the encodings agrees with the natural order on the values, and every
+   element is self-delimiting, so a run file of concatenated encodings
+   can be cut back into cells without an external index.
+
+   - [Str s]  ->  0x02, escaped bytes of [s], 0x00.  A 0x00 byte inside
+     [s] is escaped as 0x00 0xFF; since 0xFF can never follow a
+     terminating 0x00 inside a well-formed stream, the first unescaped
+     0x00 ends the element.  The escape preserves order: it maps the
+     smallest byte to the smallest two-byte sequence starting with it.
+   - [Int n]  ->  a code byte centred on 0x14 (zero), 0x14+k for a
+     positive integer needing [k] big-endian bytes, 0x14-k for a
+     negative one stored as the offset from the smallest k-byte
+     negative (i.e. n + 2^(8k) - 1), so larger negatives still compare
+     smaller bytewise. *)
+
+type elt = Int of int | Str of string
+
+let zero_code = 0x14
+let str_code = 0x02
+let max_int_bytes = 8
+
+exception Malformed of string
+
+let bytes_needed n =
+  (* bytes needed for |n| — also the k with n + 2^(8k) - 1 >= 0 when
+     n < 0; [Int64.neg] is safe for every 63-bit OCaml int *)
+  let rec go k v =
+    if Int64.equal v 0L then max 1 k else go (k + 1) (Int64.shift_right_logical v 8)
+  in
+  go 0 (Int64.abs (Int64.of_int n))
+
+let add_elt buf = function
+  | Str s ->
+      Buffer.add_char buf (Char.chr str_code);
+      String.iter
+        (fun c ->
+          Buffer.add_char buf c;
+          if c = '\x00' then Buffer.add_char buf '\xFF')
+        s;
+      Buffer.add_char buf '\x00'
+  | Int 0 -> Buffer.add_char buf (Char.chr zero_code)
+  | Int n when n > 0 ->
+      let k = bytes_needed n in
+      Buffer.add_char buf (Char.chr (zero_code + k));
+      for i = k - 1 downto 0 do
+        Buffer.add_char buf (Char.chr ((n lsr (8 * i)) land 0xff))
+      done
+  | Int n ->
+      (* negative: store n + (2^(8k) - 1) so bytewise order matches *)
+      let k = bytes_needed n in
+      Buffer.add_char buf (Char.chr (zero_code - k));
+      let off = Int64.add (Int64.of_int n) (if k = 8 then Int64.minus_one else Int64.sub (Int64.shift_left 1L (8 * k)) 1L) in
+      for i = k - 1 downto 0 do
+        Buffer.add_char buf
+          (Char.chr (Int64.to_int (Int64.shift_right_logical off (8 * i)) land 0xff))
+      done
+
+let pack elts =
+  let buf = Buffer.create 32 in
+  List.iter (add_elt buf) elts;
+  Buffer.contents buf
+
+let pack_str s = pack [ Str s ]
+let pack_int n = pack [ Int n ]
+
+(* [scan_elt s pos] is the offset just past the element starting at
+   [pos] — the self-delimiting property as a function. *)
+let scan_elt s pos =
+  if pos >= String.length s then raise (Malformed "scan_elt: past end");
+  let code = Char.code s.[pos] in
+  if code = str_code then begin
+    let n = String.length s in
+    let i = ref (pos + 1) in
+    let stop = ref (-1) in
+    while !stop < 0 do
+      if !i >= n then raise (Malformed "unterminated string element");
+      if s.[!i] = '\x00' then
+        if !i + 1 < n && s.[!i + 1] = '\xFF' then i := !i + 2
+        else stop := !i + 1
+      else incr i
+    done;
+    !stop
+  end
+  else if code >= zero_code - max_int_bytes && code <= zero_code + max_int_bytes
+  then begin
+    let k = abs (code - zero_code) in
+    if pos + 1 + k > String.length s then raise (Malformed "truncated int element");
+    pos + 1 + k
+  end
+  else raise (Malformed (Printf.sprintf "unknown type code 0x%02x" code))
+
+let decode_elt s pos =
+  let stop = scan_elt s pos in
+  let code = Char.code s.[pos] in
+  let elt =
+    if code = str_code then begin
+      let buf = Buffer.create (stop - pos) in
+      let i = ref (pos + 1) in
+      while !i < stop - 1 do
+        Buffer.add_char buf s.[!i];
+        if s.[!i] = '\x00' then i := !i + 2 else incr i
+      done;
+      Str (Buffer.contents buf)
+    end
+    else begin
+      let k = abs (code - zero_code) in
+      let mag = ref 0L in
+      for i = pos + 1 to pos + k do
+        mag := Int64.logor (Int64.shift_left !mag 8) (Int64.of_int (Char.code s.[i]))
+      done;
+      if code >= zero_code then Int (Int64.to_int !mag)
+      else
+        let off = if k = 8 then Int64.minus_one else Int64.sub (Int64.shift_left 1L (8 * k)) 1L in
+        Int (Int64.to_int (Int64.sub !mag off))
+    end
+  in
+  (elt, stop)
+
+let unpack s =
+  let n = String.length s in
+  let rec go pos acc =
+    if pos >= n then List.rev acc
+    else
+      let elt, stop = decode_elt s pos in
+      go stop (elt :: acc)
+  in
+  go 0 []
+
+let compare_packed = String.compare
+
+(* The code bytes put strings (0x02) below every int (0x0c..0x1c), so
+   the cross-type branches must sort [Str _] first. *)
+let compare_elt a b =
+  match (a, b) with
+  | Int x, Int y -> compare x y
+  | Str x, Str y -> String.compare x y
+  | Str _, Int _ -> -1
+  | Int _, Str _ -> 1
+
+let compare_tuple a b =
+  let rec go = function
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | x :: xs, y :: ys ->
+        let c = compare_elt x y in
+        if c <> 0 then c else go (xs, ys)
+  in
+  go (a, b)
+
+(* Prefix range: every packed tuple extending [elts] sorts inside
+   [fst, snd).  0x00 is below every type code and 0xFF above, exactly
+   the FoundationDB [range] convention. *)
+let range_prefix elts =
+  let p = pack elts in
+  (p ^ "\x00", p ^ "\xFF")
+
+let pp_elt ppf = function
+  | Int n -> Format.fprintf ppf "Int %d" n
+  | Str s -> Format.fprintf ppf "Str %S" s
+
+let pp ppf elts =
+  Format.fprintf ppf "(@[%a@])"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_elt)
+    elts

@@ -63,6 +63,94 @@ let test_rewind () =
   Tape.move fresh Tape.Right;
   check_int "subsequent rightward move still free" 0 (Tape.reversals fresh)
 
+(* The constant-time rewind applies only to unhooked tapes; an observer
+   (or injection hook) forces the per-cell loop. Whichever path runs,
+   the resulting tape state must be identical. *)
+let null_observer =
+  {
+    Tape.Observer.on_read = (fun ~pos:_ -> ());
+    on_write = (fun ~pos:_ -> ());
+    on_move = (fun ~pos:_ _ -> ());
+  }
+
+let test_rewind_fast_path_parity () =
+  let run observed =
+    let t = Tape.of_list ~blank:'_' [ 'a'; 'b'; 'c'; 'd' ] in
+    if observed then Tape.set_observer t (Some null_observer);
+    for _ = 1 to 3 do
+      Tape.move t Tape.Right
+    done;
+    Tape.rewind t;
+    (Tape.position t, Tape.reversals t, Tape.head_direction t = Tape.Left)
+  in
+  Alcotest.(check (triple int int bool))
+    "loop path = fast path" (run true) (run false);
+  (* and from a leftward-moving head: no extra reversal either way *)
+  let run_leftward observed =
+    let t = Tape.of_list ~blank:'_' [ 'a'; 'b'; 'c'; 'd' ] in
+    if observed then Tape.set_observer t (Some null_observer);
+    for _ = 1 to 3 do
+      Tape.move t Tape.Right
+    done;
+    Tape.move t Tape.Left;
+    Tape.rewind t;
+    (Tape.position t, Tape.reversals t, Tape.head_direction t = Tape.Left)
+  in
+  Alcotest.(check (triple int int bool))
+    "leftward head parity" (run_leftward true) (run_leftward false)
+
+let test_rewind_budget_trip_parity () =
+  (* a rewind that trips the scan budget must leave the same tape state
+     on both paths: reversal charged, direction flipped, head unmoved *)
+  let run observed =
+    let g =
+      Tape.Group.create
+        ~budget:{ Tape.Group.max_scans = Some 1; max_internal = None }
+        ()
+    in
+    let t = Tape.Group.tape_of_list g ~name:"t" ~blank:'_' [ 'a'; 'b'; 'c' ] in
+    if observed then Tape.set_observer t (Some null_observer);
+    for _ = 1 to 2 do
+      Tape.move t Tape.Right
+    done;
+    let raised =
+      try
+        Tape.rewind t;
+        false
+      with Tape.Budget_exceeded _ -> true
+    in
+    ( raised,
+      (Tape.position t, Tape.reversals t, Tape.head_direction t = Tape.Left) )
+  in
+  let ((raised, _) as loop) = run true in
+  check "budget trips" true raised;
+  Alcotest.(check (pair bool (triple int int bool)))
+    "trip state parity" loop (run false)
+
+let test_rewind_injection_sees_moves () =
+  (* with a fault hook installed the per-cell loop runs, so the plan
+     sees every head step of the rewind *)
+  let moves = ref 0 in
+  let hook =
+    {
+      Tape.Injection.on_read = (fun ~pos:_ _ -> Tape.Injection.Read_ok);
+      on_write = (fun ~pos:_ _ -> Tape.Injection.Write_ok);
+      on_move =
+        (fun ~pos:_ _ ->
+          incr moves;
+          Tape.Injection.Move_ok);
+    }
+  in
+  let t = Tape.of_list ~blank:'_' [ 'a'; 'b'; 'c'; 'd'; 'e' ] in
+  for _ = 1 to 4 do
+    Tape.move t Tape.Right
+  done;
+  Tape.set_injection t (Some hook);
+  Tape.rewind t;
+  check_int "hook saw every step" 4 !moves;
+  check_int "rewound" 0 (Tape.position t);
+  check_int "one reversal" 1 (Tape.reversals t)
+
 let test_to_list_iter () =
   let t = Tape.of_list ~blank:'_' [ 'x'; 'y' ] in
   Alcotest.(check (list char)) "to_list" [ 'x'; 'y' ] (Tape.to_list t);
@@ -175,6 +263,12 @@ let () =
           Alcotest.test_case "left edge" `Quick test_move_off_left;
           Alcotest.test_case "cells_used" `Quick test_cells_used_grows;
           Alcotest.test_case "rewind" `Quick test_rewind;
+          Alcotest.test_case "rewind fast-path parity" `Quick
+            test_rewind_fast_path_parity;
+          Alcotest.test_case "rewind budget-trip parity" `Quick
+            test_rewind_budget_trip_parity;
+          Alcotest.test_case "rewind under injection" `Quick
+            test_rewind_injection_sees_moves;
           Alcotest.test_case "to_list/iter" `Quick test_to_list_iter;
           QCheck_alcotest.to_alcotest prop_reversals_count_direction_changes;
         ] );

@@ -8,10 +8,13 @@
 # Both files are stlb-bench-trajectory/1 JSON as written by
 # `bench/main.exe micro --json PATH`. A micro bench whose fresh
 # ns/run exceeds the baseline by more than THRESHOLD_PCT (default 25)
-# is reported, and the script exits 0 regardless: CI runners are noisy
-# shared machines, quick-quota estimates doubly so, so the guard is a
-# review signal, not a gate. Missing-in-baseline benches (new in this
-# PR) are listed informationally.
+# is reported, and likewise an experiment table whose wall-clock
+# seconds (the "tables" section, present on full non-quick runs)
+# exceeds its baseline by the same margin. The script exits 0
+# regardless: CI runners are noisy shared machines, quick-quota
+# estimates doubly so, so the guard is a review signal, not a gate.
+# Missing-in-baseline benches/tables (new in this PR) are listed
+# informationally.
 set -euo pipefail
 
 fresh=${1:?usage: bench_guard.sh FRESH.json [BASELINE.json] [THRESHOLD_PCT]}
@@ -56,8 +59,36 @@ while IFS=$'\t' read -r name fresh_ns; do
   fi
 done < <(pairs "$fresh")
 
-if [ "$regressions" -gt 0 ]; then
-  echo "bench-guard: $regressions bench(es) regressed beyond ${threshold}% - non-blocking, but worth a look"
+# name<TAB>wall_s pairs from the experiment-table sweep (empty on
+# --quick trajectories, which skip the sweep)
+table_pairs() {
+  jq -r '(.tables // [])[] | select(.wall_s != null)
+         | "\(.name)\t\(.wall_s)"' "$1"
+}
+
+table_regressions=0
+while IFS=$'\t' read -r name fresh_s; do
+  [ -z "$name" ] && continue
+  base_s=$(table_pairs "$baseline" | awk -F'\t' -v n="$name" '$1 == n { print $2 }')
+  if [ -z "$base_s" ]; then
+    printf '  NEW      %-34s %10.3f s (no baseline)\n' "$name" "$fresh_s"
+    continue
+  fi
+  pct=$(awk -v f="$fresh_s" -v b="$base_s" \
+    'BEGIN { printf "%.1f", (f - b) / b * 100 }')
+  if awk -v p="$pct" -v t="$threshold" 'BEGIN { exit !(p > t) }'; then
+    printf '  WARN     %-34s %10.3f -> %10.3f s (+%s%%)\n' \
+      "$name" "$base_s" "$fresh_s" "$pct"
+    table_regressions=$((table_regressions + 1))
+  else
+    printf '  ok       %-34s %10.3f -> %10.3f s (%+s%%)\n' \
+      "$name" "$base_s" "$fresh_s" "$pct"
+  fi
+done < <(table_pairs "$fresh")
+
+total=$((regressions + table_regressions))
+if [ "$total" -gt 0 ]; then
+  echo "bench-guard: $regressions bench(es) and $table_regressions table(s) regressed beyond ${threshold}% - non-blocking, but worth a look"
 else
   echo "bench-guard: no regressions beyond ${threshold}%"
 fi
