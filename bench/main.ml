@@ -79,9 +79,29 @@ let micro_tests () =
       ~optimistic:true
   in
   let adv_pool = Parallel.Pool.create ~domains:1 () in
+  (* one 64 KiB block round-trip through the CRC framing: a 1-block
+     cache bounces between two blocks, so every iteration pays two
+     evict-flushes (checksum + pwrite) and two loads (pread + verify).
+     This is the per-block integrity overhead the file backend charges;
+     the mem backend has none (the guard's 25% gate pins that). *)
+  let crc_dev =
+    Tape.Device.instantiate ~codec:Tape.Device.Codec.tuple_char
+      (Tape.Device.file_spec ~block_bytes:(1 lsl 16) ~cache_blocks:1
+         (Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "stlb-bench-spill-%d" (Unix.getpid ()))))
+      ~blank:'_' ~name:"crc-bench"
+  in
+  let crc_slots = (1 lsl 16) / 4 in
   [
     Test.make ~name:"fingerprint-multiset-eq-m64"
       (Staged.stage (fun () -> ignore (Fingerprint.run st fp_inst)));
+    Test.make ~name:"device-crc-block-64k"
+      (Staged.stage (fun () ->
+           Tape.Device.set crc_dev 0 'x';
+           ignore (Tape.Device.get crc_dev crc_slots);
+           Tape.Device.set crc_dev crc_slots 'y';
+           ignore (Tape.Device.get crc_dev 0)));
     Test.make ~name:"tape-merge-sort-256"
       (Staged.stage (fun () -> ignore (Extsort.sort sort_items)));
     Test.make ~name:"tape-file-merge-sort-64k"

@@ -5,7 +5,7 @@
      gen         generate problem instances
      decide      run a decider (reference / sort / fingerprint / nst)
      adversary   run the Lemma 21 attack on a staircase list machine
-     experiment  run one (or all) of the E1..E18 experiment tables,
+     experiment  run one (or all) of the E1..E19 experiment tables,
                  optionally journaling/resuming via --checkpoint and
                  emitting a JSONL event trace via --trace
      classes     print the paper's classification table
@@ -81,10 +81,20 @@ let with_trace path f =
 let budget_exit =
   Cmd.Exit.info 10
     ~doc:
-      "an enforced resource budget was exceeded (e.g. $(b,decide \
-       --max-scans)); the diagnostic is printed on stderr."
+      "an enforced resource limit ended the run: a tripped budget (e.g. \
+       $(b,decide --max-scans)), a full or read-only disk (ENOSPC/EROFS) \
+       or retries exhausted on persistent corruption; the diagnostic is \
+       printed on stderr."
 
-let exits = budget_exit :: Cmd.Exit.defaults
+let scrub_exit =
+  Cmd.Exit.info 12
+    ~doc:"$(b,scrub) found corruption, torn frames or orphan files."
+
+let crash_exit =
+  Cmd.Exit.info 70
+    ~doc:"$(b,decide --crash-at) fired: the process _exited abruptly."
+
+let exits = budget_exit :: scrub_exit :: crash_exit :: Cmd.Exit.defaults
 
 (* ------------------------------------------------------------------ *)
 
@@ -116,10 +126,41 @@ let read_instance = function
   | None -> I.decode (String.trim (input_line stdin))
 
 let decide_cmd =
-  let run seed problem algorithm file max_scans trace dev block_size spill_dir =
+  let run seed problem algorithm file max_scans trace dev block_size spill_dir
+      storage_seed bit_rot storage_eio enospc_at crash_at checkpoint =
     with_trace trace @@ fun () ->
     let st = state_of seed in
     let inst = read_instance file in
+    (* Storage-fault flags build a seeded below-seam plan injected at
+       the Device.Raw syscall layer of the file/shard backends. The
+       crash hook is an abrupt _exit(70): no cleanup runs, leaving the
+       torn spill the crash-matrix test recovers from with scrub. *)
+    let storage_plan =
+      if
+        bit_rot > 0.0 || storage_eio > 0.0 || enospc_at <> None
+        || crash_at <> None
+      then
+        Some
+          (Faults.Storage.Plan.create ?enospc_after:enospc_at
+             ?crash_at
+             ~crash:(fun _op -> Unix._exit 70)
+             ~seed:storage_seed
+             ~rates:
+               {
+                 Faults.Storage.zero with
+                 Faults.Storage.bit_rot;
+                 io_error = storage_eio;
+               }
+             ())
+      else None
+    in
+    let raw = Option.map Faults.Storage.raw_for storage_plan in
+    let retry =
+      match storage_plan with
+      | None -> None
+      | Some _ ->
+          Some { Faults.Retry.default with Faults.Retry.attempts = 8 }
+    in
     (* --device picks the tape backend for the sort and fingerprint
        deciders (reference and nst are in-memory by construction).
        Spill files are scratch: the deciders delete them on the way out,
@@ -138,11 +179,11 @@ let decide_cmd =
       | `File ->
           Some
             (Tape.Device.file_spec ~block_bytes:block_size ~cache_blocks:16
-               (spill ()))
+               ?raw (spill ()))
       | `Shard ->
           Some
             (Tape.Device.shard_spec ~shard_bytes:(16 * block_size)
-               ~cache_shards:2 (spill ()))
+               ~cache_shards:2 ?raw (spill ()))
     in
     let budget =
       Option.map
@@ -165,39 +206,62 @@ let decide_cmd =
           Obs.Trace.ledger_current l;
           Obs.Trace.audit_current (Obs.Audit.check spec l)
     in
-    let verdict, resources =
-      match algorithm with
-      | `Reference -> (D.decide problem inst, "(in-memory reference)")
-      | `Sort ->
-          let obs = recorder "sort" in
-          let v, rep = Extsort.decide ?budget ?obs ?device problem inst in
-          emit obs Obs.Audit.mergesort_spec;
-          ( v,
-            Printf.sprintf "scans=%d registers=%d tapes=%d" rep.Extsort.scans
-              rep.Extsort.register_peak rep.Extsort.tapes )
-      | `Fingerprint ->
-          if problem <> D.Multiset_equality then
-            failwith "fingerprint solves multiset-eq only";
-          let obs = recorder "fingerprint" in
-          let v, rep, _ = Fingerprint.run ?obs ?device st inst in
-          emit obs Obs.Audit.fingerprint_spec;
-          ( v,
-            Printf.sprintf "scans=%d internal-bits=%d tapes=%d" rep.Fingerprint.scans
-              rep.Fingerprint.internal_bits rep.Fingerprint.tapes )
-      | `Nst -> (
-          let obs = recorder "nst" in
-          let v, rep = Nst.decide_with_prover ?obs problem inst in
-          emit obs Obs.Audit.nst_spec;
-          match rep with
-          | Some r ->
-              ( v,
-                Printf.sprintf "scans=%d registers=%d tapes=%d" r.Nst.scans
-                  r.Nst.internal_registers r.Nst.tapes )
-          | None -> (v, "(no witness: every branch rejects)"))
+    let decide_once () =
+      let verdict, resources =
+        match algorithm with
+        | `Reference -> (D.decide problem inst, "(in-memory reference)")
+        | `Sort ->
+            let obs = recorder "sort" in
+            let v, rep =
+              Extsort.decide ?budget ?retry ?obs ?device problem inst
+            in
+            emit obs Obs.Audit.mergesort_spec;
+            ( v,
+              Printf.sprintf "scans=%d registers=%d tapes=%d" rep.Extsort.scans
+                rep.Extsort.register_peak rep.Extsort.tapes )
+        | `Fingerprint ->
+            if problem <> D.Multiset_equality then
+              failwith "fingerprint solves multiset-eq only";
+            let obs = recorder "fingerprint" in
+            let v, rep, _ = Fingerprint.run ?retry ?obs ?device st inst in
+            emit obs Obs.Audit.fingerprint_spec;
+            ( v,
+              Printf.sprintf "scans=%d internal-bits=%d tapes=%d" rep.Fingerprint.scans
+                rep.Fingerprint.internal_bits rep.Fingerprint.tapes )
+        | `Nst -> (
+            let obs = recorder "nst" in
+            let v, rep = Nst.decide_with_prover ?obs problem inst in
+            emit obs Obs.Audit.nst_spec;
+            match rep with
+            | Some r ->
+                ( v,
+                  Printf.sprintf "scans=%d registers=%d tapes=%d" r.Nst.scans
+                    r.Nst.internal_registers r.Nst.tapes )
+            | None -> (v, "(no witness: every branch rejects)"))
+      in
+      Printf.printf "%s: %s  %s\n" (D.problem_name problem)
+        (if verdict then "YES" else "NO")
+        resources
     in
-    Printf.printf "%s: %s  %s\n" (D.problem_name problem)
-      (if verdict then "YES" else "NO")
-      resources
+    (* --checkpoint journals the decide's entire stdout keyed by the
+       run parameters: a run killed by --crash-at recomputes on the
+       next invocation, while a completed run replays byte-identically
+       without touching the tapes at all. *)
+    match checkpoint with
+    | None -> decide_once ()
+    | Some dir ->
+        let name =
+          Printf.sprintf "decide-%s-%s-seed%d" (D.problem_name problem)
+            (match algorithm with
+            | `Reference -> "reference"
+            | `Sort -> "sort"
+            | `Fingerprint -> "fingerprint"
+            | `Nst -> "nst")
+            seed
+        in
+        Harness.Checkpoint.run
+          (Some (Harness.Checkpoint.open_dir dir))
+          ~name decide_once
   in
   let algorithm_arg =
     let doc = "Algorithm: reference, sort (Cor 7), fingerprint (Thm 8a), nst (Thm 8b)." in
@@ -255,12 +319,98 @@ let decide_cmd =
     in
     Arg.(value & opt (some string) None & info [ "spill-dir" ] ~docv:"DIR" ~doc)
   in
+  let storage_seed_arg =
+    let doc = "Seed for the below-seam storage fault plan." in
+    Arg.(value & opt int 0 & info [ "storage-seed" ] ~docv:"SEED" ~doc)
+  in
+  let bit_rot_arg =
+    let doc =
+      "Per-pread probability of flipping one random bit of the bytes read \
+       back from a $(b,file)/$(b,shard) device. The CRC framing detects \
+       every flip; the decider quarantines, re-reads and re-scans (paying \
+       honest reversals) or gives up loudly - it never mis-decides."
+    in
+    Arg.(value & opt float 0.0 & info [ "bit-rot" ] ~docv:"RATE" ~doc)
+  in
+  let storage_eio_arg =
+    let doc = "Per-syscall probability of EIO from the raw pread/pwrite." in
+    Arg.(value & opt float 0.0 & info [ "storage-eio" ] ~docv:"RATE" ~doc)
+  in
+  let enospc_at_arg =
+    let doc =
+      "Make the $(docv)-th and every later raw write fail with ENOSPC (a \
+       full disk stays full). Fatal by classification: the run aborts with \
+       exit status 10 and leaves no orphan spill files."
+    in
+    Arg.(value & opt (some int) None & info [ "enospc-at" ] ~docv:"K" ~doc)
+  in
+  let crash_at_arg =
+    let doc =
+      "Abruptly _exit(70) at the $(docv)-th raw device syscall - no \
+       cleanup, no atexit - simulating a crash mid-run. Recover with \
+       $(b,stlb scrub --fix) on the spill directory, then re-run."
+    in
+    Arg.(value & opt (some int) None & info [ "crash-at" ] ~docv:"K" ~doc)
+  in
+  let checkpoint_arg =
+    let doc =
+      "Journal the decide's output under $(docv) (created if missing) and \
+       replay it verbatim if already journaled - the crash-matrix resume \
+       protocol."
+    in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc)
+  in
   let doc = "Decide an instance and report the measured resources." in
   Cmd.v (Cmd.info "decide" ~doc ~exits)
     Term.(
       const run $ seed_arg $ problem_arg $ algorithm_arg $ file_arg
       $ max_scans_arg $ trace_arg $ device_arg $ block_size_arg
-      $ spill_dir_arg)
+      $ spill_dir_arg $ storage_seed_arg $ bit_rot_arg $ storage_eio_arg
+      $ enospc_at_arg $ crash_at_arg $ checkpoint_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let scrub_cmd =
+  let run fix dir =
+    let rep = Tape.Device.Scrub.dir ~fix dir in
+    let count what =
+      List.length
+        (List.filter
+           (fun (f : Tape.Device.Scrub.finding) -> f.Tape.Device.Scrub.what = what)
+           rep.Tape.Device.Scrub.findings)
+    in
+    Printf.printf
+      "scrub %s: %d file(s), %d block(s) checked\n\
+      \  crc-mismatch %d   torn %d   orphan %d   missing %d   bad-header %d\n"
+      dir rep.Tape.Device.Scrub.files_checked rep.Tape.Device.Scrub.blocks_checked
+      (count "crc-mismatch") (count "torn") (count "orphan") (count "missing")
+      (count "bad-header");
+    List.iter
+      (fun (f : Tape.Device.Scrub.finding) ->
+        Printf.printf "  %-12s %s%s\n" f.Tape.Device.Scrub.what
+          f.Tape.Device.Scrub.path
+          (if f.Tape.Device.Scrub.offset >= 0 then
+             Printf.sprintf " @%d" f.Tape.Device.Scrub.offset
+           else ""))
+      rep.Tape.Device.Scrub.findings;
+    if fix then Printf.printf "  removed %d file(s)\n" rep.Tape.Device.Scrub.removed;
+    if rep.Tape.Device.Scrub.findings <> [] then exit 12
+  in
+  let fix_arg =
+    let doc = "Remove every flagged file and prune emptied shard dirs." in
+    Arg.(value & flag & info [ "fix" ] ~doc)
+  in
+  let dir_arg =
+    let doc = "Spill directory to verify (as passed to --spill-dir)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let doc =
+    "Verify the CRC of every tape block and shard in a spill directory \
+     (exit 12 if corruption, torn frames or orphans were found; with \
+     $(b,--fix), also remove them so a crashed run's survivors reopen \
+     cleanly)."
+  in
+  Cmd.v (Cmd.info "scrub" ~doc ~exits) Term.(const run $ fix_arg $ dir_arg)
 
 let adversary_cmd =
   let run seed jobs m chains optimistic =
@@ -313,11 +463,11 @@ let experiment_cmd =
         match List.assoc_opt name Harness.Experiments.all with
         | Some f -> Harness.Checkpoint.run checkpoint ~name f
         | None ->
-            Printf.eprintf "unknown experiment %S (exp1..exp18 or all)\n" name;
+            Printf.eprintf "unknown experiment %S (exp1..exp19 or all)\n" name;
             exit 1)
   in
   let name_arg =
-    let doc = "Experiment name: exp1..exp18, or all." in
+    let doc = "Experiment name: exp1..exp19, or all." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"NAME" ~doc)
   in
   let checkpoint_arg =
@@ -443,11 +593,20 @@ let () =
     Cmd.group info
       [
         gen_cmd; decide_cmd; adversary_cmd; experiment_cmd; classes_cmd;
-        sortedness_cmd; trace_cmd; simulate_cmd;
+        sortedness_cmd; trace_cmd; simulate_cmd; scrub_cmd;
       ]
   in
-  (* a tripped resource budget is a diagnosed outcome, not a crash *)
-  try exit (Cmd.eval ~catch:false group)
-  with Tape.Budget_exceeded msg ->
-    Printf.eprintf "stlb: budget exceeded: %s\n" msg;
-    exit 10
+  (* a tripped resource budget, a full disk or exhausted retries on
+     persistent corruption are diagnosed outcomes, not crashes *)
+  try exit (Cmd.eval ~catch:false group) with
+  | Tape.Budget_exceeded msg ->
+      Printf.eprintf "stlb: budget exceeded: %s\n" msg;
+      exit 10
+  | Unix.Unix_error (((Unix.ENOSPC | Unix.EROFS) as e), fn, _) ->
+      Printf.eprintf "stlb: fatal storage error: %s in %s\n"
+        (Unix.error_message e) fn;
+      exit 10
+  | Faults.Retry.Gave_up { label; attempts; last } ->
+      Printf.eprintf "stlb: gave up after %d attempts in %s: %s\n" attempts
+        label (Printexc.to_string last);
+      exit 10

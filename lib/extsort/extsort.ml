@@ -48,10 +48,18 @@ let codec_for g items =
       in
       Some (Tape.Device.Codec.tuple_string ~max_len)
 
+(* A retry policy alone (no above-seam plan) also engages the
+   combinator: storage-level faults injected below the [Device.Raw]
+   seam surface as [Corrupt]/[Unix_error] from ordinary reads and
+   writes, and the phases recover from those exactly as from injected
+   tape faults — rewinding through ordinary [move]s, paying honest
+   reversals. Runs with neither are bit-identical to the bare code. *)
 let phase ?faults ?retry ~label f =
-  match faults with
-  | None -> f ()
-  | Some p -> Faults.Retry.run ?policy:retry ~seed:(Faults.Plan.seed p) ~label f
+  match (faults, retry) with
+  | None, None -> f ()
+  | _ ->
+      let seed = match faults with Some p -> Faults.Plan.seed p | None -> 0 in
+      Faults.Retry.run ?policy:retry ~seed ~label f
 
 let read_at tp pos =
   seek tp pos;
@@ -206,7 +214,8 @@ let sort ?budget ?faults ?retry ?obs ?device items =
   observe_opt obs g;
   let codec = codec_for g items in
   Fun.protect ~finally:(fun () -> Tape.Group.close_all g) @@ fun () ->
-  let t = Tape.Group.tape_of_list g ~name:"data" ?codec ~blank:"" items in
+  let t = Tape.Group.tape g ~name:"data" ?codec ~blank:"" () in
+  phase ?faults ?retry ~label:"preload" (fun () -> Tape.preload t items);
   attach_opt faults t;
   let len = List.length items in
   if len > 1 then sort_tape ?faults ?retry ?codec g t ~len;
@@ -220,7 +229,8 @@ let sort_k ?faults ?retry ?obs ?device ~ways items =
   observe_opt obs g;
   let codec = codec_for g items in
   Fun.protect ~finally:(fun () -> Tape.Group.close_all g) @@ fun () ->
-  let t = Tape.Group.tape_of_list g ~name:"data" ?codec ~blank:"" items in
+  let t = Tape.Group.tape g ~name:"data" ?codec ~blank:"" () in
+  phase ?faults ?retry ~label:"preload" (fun () -> Tape.preload t items);
   attach_opt faults t;
   let len = List.length items in
   if len > 1 then sort_tape_k ?faults ?retry ?codec g t ~len ~ways;
@@ -231,11 +241,19 @@ let sort_k ?faults ?retry ?obs ?device ~ways items =
 
 let items_of half = Array.to_list (Array.map B.to_string half)
 
-let instance_tapes ?faults g inst =
+(* The preload is device-level and idempotent (fixed-position writes of
+   fixed values), so it runs under the same retry combinator as the
+   scan phases: a below-seam I/O error during the initial spill heals
+   by re-preloading. The above-seam plan is attached only afterwards,
+   exactly as before, so injection runs never fault their own setup. *)
+let instance_tapes ?faults ?retry g inst =
   let xs = items_of (I.xs inst) and ys = items_of (I.ys inst) in
   let codec = codec_for g (xs @ ys) in
-  let tx = Tape.Group.tape_of_list g ~name:"xs" ?codec ~blank:"" xs in
-  let ty = Tape.Group.tape_of_list g ~name:"ys" ?codec ~blank:"" ys in
+  let tx = Tape.Group.tape g ~name:"xs" ?codec ~blank:"" () in
+  let ty = Tape.Group.tape g ~name:"ys" ?codec ~blank:"" () in
+  phase ?faults ?retry ~label:"preload" (fun () ->
+      Tape.preload tx xs;
+      Tape.preload ty ys);
   attach_opt faults tx;
   attach_opt faults ty;
   (tx, ty, codec)
@@ -246,7 +264,7 @@ let check_sort ?budget ?faults ?retry ?obs ?device inst =
   Fun.protect ~finally:(fun () -> Tape.Group.close_all g) @@ fun () ->
   let meter = Tape.Group.meter g in
   let m = I.m inst in
-  let tx, ty, codec = instance_tapes ?faults g inst in
+  let tx, ty, codec = instance_tapes ?faults ?retry g inst in
   if m > 1 then sort_tape ?faults ?retry ?codec g tx ~len:m;
   let ok =
     Tape.Meter.with_units meter 2 (fun () ->
@@ -265,7 +283,7 @@ let multiset_equality ?budget ?faults ?retry ?obs ?device inst =
   Fun.protect ~finally:(fun () -> Tape.Group.close_all g) @@ fun () ->
   let meter = Tape.Group.meter g in
   let m = I.m inst in
-  let tx, ty, codec = instance_tapes ?faults g inst in
+  let tx, ty, codec = instance_tapes ?faults ?retry g inst in
   if m > 1 then begin
     sort_tape ?faults ?retry ?codec g tx ~len:m;
     sort_tape ?faults ?retry ?codec g ty ~len:m
@@ -287,7 +305,7 @@ let set_equality ?budget ?faults ?retry ?obs ?device inst =
   Fun.protect ~finally:(fun () -> Tape.Group.close_all g) @@ fun () ->
   let meter = Tape.Group.meter g in
   let m = I.m inst in
-  let tx, ty, codec = instance_tapes ?faults g inst in
+  let tx, ty, codec = instance_tapes ?faults ?retry g inst in
   if m > 1 then begin
     sort_tape ?faults ?retry ?codec g tx ~len:m;
     sort_tape ?faults ?retry ?codec g ty ~len:m
@@ -330,7 +348,7 @@ let disjoint ?budget ?faults ?retry ?obs ?device inst =
   Fun.protect ~finally:(fun () -> Tape.Group.close_all g) @@ fun () ->
   let meter = Tape.Group.meter g in
   let m = I.m inst in
-  let tx, ty, codec = instance_tapes ?faults g inst in
+  let tx, ty, codec = instance_tapes ?faults ?retry g inst in
   if m > 1 then begin
     sort_tape ?faults ?retry ?codec g tx ~len:m;
     sort_tape ?faults ?retry ?codec g ty ~len:m

@@ -29,7 +29,11 @@
     a merge pass, a comparison scan) runs under [Faults.Retry.run]: a
     transient I/O fault re-runs the phase from scratch, re-seeking the
     tapes through ordinary [move] calls so recovery pays honest
-    reversal costs. Without [?faults] the retry machinery is skipped
+    reversal costs. A [?retry] policy alone (no plan) engages the same
+    combinator for faults that originate {e below} the device seam — a
+    storage fault plan ({!Faults.Storage}) surfaces checksum failures
+    and I/O errors from ordinary reads and writes, and the phases
+    recover identically. Without both the retry machinery is skipped
     entirely and behaviour is bit-identical to the pre-fault code.
 
     Every decider further accepts an optional device spec

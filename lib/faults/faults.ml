@@ -23,6 +23,29 @@ let check_rate label r =
   if not (r >= 0.0 && r <= 1.0) then
     invalid_arg (Printf.sprintf "Faults: %s rate %g outside [0,1]" label r)
 
+(* FNV-1a over a name folded into a seed — the shared name-hashing half
+   of every derived stream (per-tape injection, per-device storage
+   faults, per-label backoff jitter). *)
+let fnv64 ~seed name =
+  let h = ref (Int64.of_int seed) in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    name;
+  !h
+
+(* [fnv64] finalized by splitmix64 into the four words a [Random.State]
+   wants. The name is the only per-stream input: streams created in any
+   order, on any domain, with the same name draw identically. *)
+let derive_words ~seed ~name =
+  let h = fnv64 ~seed name in
+  Array.init 4 (fun i ->
+      let word =
+        Parallel.Rng.mix64
+          (Int64.add h (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L))
+      in
+      Int64.to_int (Int64.logand word 0x3FFFFFFFFFFFFFFFL))
+
 module Plan = struct
   type t = { seed : int; rates : rates }
 
@@ -35,24 +58,7 @@ module Plan = struct
 
   let seed t = t.seed
   let rates t = t.rates
-
-  (* FNV-1a over the tape name folded into the plan seed, finalized by
-     splitmix64 into the four words a [Random.State] wants. The name is
-     the only per-tape input: tapes created in any order, on any
-     domain, with the same name draw the same fault stream. *)
-  let derive t ~name =
-    let h = ref (Int64.of_int t.seed) in
-    String.iter
-      (fun c ->
-        h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
-      name;
-    Array.init 4 (fun i ->
-        let word =
-          Parallel.Rng.mix64
-            (Int64.add !h (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L))
-        in
-        Int64.to_int (Int64.logand word 0x3FFFFFFFFFFFFFFFL))
-
+  let derive t ~name = derive_words ~seed:t.seed ~name
   let tape_state t ~name = Random.State.make (derive t ~name)
 end
 
@@ -109,6 +115,139 @@ let attach_char plan tp = attach plan ~corrupt:flip01 tp
 let attach_string plan tp = attach plan ~corrupt:flip_string_bit tp
 
 (* ------------------------------------------------------------------ *)
+(* storage faults: injection below the [Tape.Device.Raw] syscall seam *)
+
+module Storage = struct
+  type rates = {
+    bit_rot : float;
+    short_read : float;
+    short_write : float;
+    io_error : float;
+    torn_write : float;
+  }
+
+  let zero =
+    {
+      bit_rot = 0.0;
+      short_read = 0.0;
+      short_write = 0.0;
+      io_error = 0.0;
+      torn_write = 0.0;
+    }
+
+  exception Crashed of { op : int }
+
+  module Plan = struct
+    type t = {
+      seed : int;
+      rates : rates;
+      enospc_after : int option;
+      crash_at : int option;
+      crash : int -> unit;
+      ops : int Atomic.t;
+      write_ops : int Atomic.t;
+    }
+
+    let create ?enospc_after ?crash_at ?crash ~seed ~rates () =
+      check_rate "bit_rot" rates.bit_rot;
+      check_rate "short_read" rates.short_read;
+      check_rate "short_write" rates.short_write;
+      check_rate "io_error" rates.io_error;
+      check_rate "torn_write" rates.torn_write;
+      {
+        seed;
+        rates;
+        enospc_after;
+        crash_at;
+        crash =
+          (match crash with
+          | Some f -> f
+          | None -> fun op -> raise (Crashed { op }));
+        ops = Atomic.make 0;
+        write_ops = Atomic.make 0;
+      }
+
+    let seed t = t.seed
+    let rates t = t.rates
+    let ops t = Atomic.get t.ops
+  end
+
+  (* The raw-seam wrapper for one device. Each stream is keyed on
+     ("storage:" ^ tape name) — a disjoint namespace from the
+     above-seam injection streams — so the two plans can share a seed
+     without correlating. The op counter is plan-global (1-based, in
+     syscall order), which is what makes a crash point like
+     "the 17th raw op" meaningful and reproducible. *)
+  let raw_for (t : Plan.t) : Tape.Device.raw_factory =
+   fun ~name ->
+    let st = Random.State.make (derive_words ~seed:t.Plan.seed ~name:("storage:" ^ name)) in
+    let real = Tape.Device.Raw.real in
+    let r = t.Plan.rates in
+    let tick () =
+      let op = Atomic.fetch_and_add t.Plan.ops 1 + 1 in
+      (match t.Plan.crash_at with
+      | Some k when op = k -> t.Plan.crash op
+      | _ -> ());
+      op
+    in
+    {
+      Tape.Device.Raw.pread =
+        (fun fd buf ~pos ~len ~off ->
+          ignore (tick ());
+          if hit st r.io_error then
+            raise (Unix.Unix_error (Unix.EIO, "pread", name));
+          let n = real.Tape.Device.Raw.pread fd buf ~pos ~len ~off in
+          let n =
+            if n > 1 && hit st r.short_read then 1 + Random.State.int st (n - 1)
+            else n
+          in
+          if n > 0 && hit st r.bit_rot then begin
+            let i = pos + Random.State.int st n in
+            Bytes.set buf i
+              (Char.chr
+                 (Char.code (Bytes.get buf i) lxor (1 lsl Random.State.int st 8)));
+          end;
+          n);
+      pwrite =
+        (fun fd buf ~pos ~len ~off ->
+          ignore (tick ());
+          let wop = Atomic.fetch_and_add t.Plan.write_ops 1 + 1 in
+          (match t.Plan.enospc_after with
+          | Some k when wop >= k ->
+              (* a full disk stays full: every later write fails too *)
+              raise (Unix.Unix_error (Unix.ENOSPC, "pwrite", name))
+          | _ -> ());
+          if hit st r.io_error then
+            raise (Unix.Unix_error (Unix.EIO, "pwrite", name));
+          if hit st r.torn_write then begin
+            (* tear at the pwrite boundary: a strict prefix lands on
+               disk, then the write reports failure *)
+            let cut = Random.State.int st len in
+            if cut > 0 then
+              ignore (real.Tape.Device.Raw.pwrite fd buf ~pos ~len:cut ~off);
+            raise (Unix.Unix_error (Unix.EIO, "pwrite", name))
+          end;
+          if len > 1 && hit st r.short_write then
+            real.Tape.Device.Raw.pwrite fd buf ~pos
+              ~len:(1 + Random.State.int st (len - 1))
+              ~off
+          else real.Tape.Device.Raw.pwrite fd buf ~pos ~len ~off);
+      fsync =
+        (fun fd ->
+          ignore (tick ());
+          real.Tape.Device.Raw.fsync fd);
+      rename =
+        (fun a b ->
+          ignore (tick ());
+          real.Tape.Device.Raw.rename a b);
+      remove =
+        (fun p ->
+          ignore (tick ());
+          real.Tape.Device.Raw.remove p);
+    }
+end
+
+(* ------------------------------------------------------------------ *)
 (* retry/backoff *)
 
 module Retry = struct
@@ -125,10 +264,19 @@ module Retry = struct
 
   (* Real device I/O can fail transiently too: a byte-backed tape
      surfaces interrupted syscalls as [Unix_error]s, and a restartable
-     phase recovers from those exactly as from an injected fault. *)
+     phase recovers from those exactly as from an injected fault. A
+     checksum failure is transient on purpose: the offending block is
+     quarantined before [Corrupt] is raised, so the retrying phase
+     re-reads it from disk (in-transit rot heals; rot at rest gives
+     up after [attempts]). ENOSPC and EROFS are explicitly fatal — a
+     full or read-only disk never heals by retrying, it needs the
+     operator (and exit code 10). *)
   let classify_default = function
     | Transient_io _ -> Transient
-    | Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    | Tape.Device.Corrupt _ -> Transient
+    | Unix.Unix_error ((Unix.ENOSPC | Unix.EROFS), _, _) -> Fatal
+    | Unix.Unix_error
+        ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EIO), _, _) ->
         Transient
     | _ -> Fatal
   let is_transient e = classify_default e = Transient
@@ -160,6 +308,10 @@ module Retry = struct
 
   let run ?(policy = default) ?(seed = 0) ?(label = "operation") ?on_retry f =
     if policy.attempts < 1 then invalid_arg "Faults.Retry.run: attempts >= 1";
+    (* fold the phase label into the jitter seed: concurrent phases of
+       one plan de-correlate their backoff schedules, yet the schedule
+       of a given (seed, label) pair is fixed for every worker count *)
+    let seed = Int64.to_int (fnv64 ~seed label) in
     let rec go attempt =
       try f ()
       with e -> (

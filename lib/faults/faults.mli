@@ -80,6 +80,64 @@ val flip_string_bit : Random.State.t -> string -> string
     returned unchanged). On the {0,1}-string items of an instance this
     is exactly a one-bit value corruption. *)
 
+(** Storage-level fault injection {e below} the {!Tape.Device.Raw}
+    syscall seam — distinct from the above-seam {!Tape.Injection} plan
+    ({!attach}): these faults hit the bytes and syscalls of the backing
+    files themselves, so they exercise the device layer's CRC framing,
+    full-transfer loops and atomic-rename protocol rather than the
+    tape head. Streams are keyed on [("storage:" ^ tape name)], so a
+    storage plan and an injection plan may share a seed without
+    correlating, and the whole campaign is bit-identical under
+    -j 1/2/4. *)
+module Storage : sig
+  (** Per-syscall fault probabilities, each in [[0, 1]]. *)
+  type rates = {
+    bit_rot : float;  (** flip one random bit of a successful pread *)
+    short_read : float;  (** return a strict prefix of the bytes read *)
+    short_write : float;  (** transfer a strict prefix (no error) *)
+    io_error : float;  (** raise [EIO] from pread/pwrite *)
+    torn_write : float;
+        (** write a strict prefix to disk, then raise [EIO] — the torn
+            frame is what the CRC framing must catch on readback *)
+  }
+
+  val zero : rates
+
+  exception Crashed of { op : int }
+  (** The default crash action: raised by the [op]-th raw syscall when
+      the plan's [crash_at] fires. Classified [Fatal]. *)
+
+  module Plan : sig
+    type t
+
+    val create :
+      ?enospc_after:int ->
+      ?crash_at:int ->
+      ?crash:(int -> unit) ->
+      seed:int ->
+      rates:rates ->
+      unit ->
+      t
+    (** [enospc_after:k] makes the [k]-th and every later raw write
+        raise [ENOSPC] (a full disk stays full). [crash_at:k] invokes
+        [crash] (default: raise {!Crashed}) at the [k]-th raw syscall,
+        counted plan-globally in syscall order — [stlb decide
+        --crash-at] passes an abrupt [_exit] so no cleanup runs, which
+        is what the crash-matrix test recovers from.
+        @raise Invalid_argument if any rate is outside [[0, 1]]. *)
+
+    val seed : t -> int
+    val rates : t -> rates
+
+    val ops : t -> int
+    (** Raw syscalls performed so far under this plan. *)
+  end
+
+  val raw_for : Plan.t -> Tape.Device.raw_factory
+  (** The injecting wrapper of {!Tape.Device.Raw.real} to pass as
+      [?raw] to {!Tape.Device.file_spec}/{!Tape.Device.shard_spec}. *)
+end
+
 (** Bounded retry with deterministic backoff — the recovery combinators
     used by the extsort and fingerprint scan phases. *)
 module Retry : sig
@@ -104,8 +162,11 @@ module Retry : sig
   val classify_default : exn -> classification
   (** {!Transient_io} is [Transient], as are the retryable device I/O
       errors a byte-backed tape can surface ([Unix.EINTR]/[EAGAIN]/
-      [EWOULDBLOCK]); everything else — including {!Gave_up} and
-      {!Tape.Budget_exceeded} — is [Fatal]. *)
+      [EWOULDBLOCK]/[EIO]) and {!Tape.Device.Corrupt} (the bad block is
+      quarantined before the raise, so a retry re-reads it from disk).
+      [ENOSPC] and [EROFS] are explicitly [Fatal] — a full or read-only
+      disk never heals by retrying — as is everything else, including
+      {!Gave_up}, {!Storage.Crashed} and {!Tape.Budget_exceeded}. *)
 
   val is_transient : exn -> bool
 
@@ -123,7 +184,10 @@ module Retry : sig
     (unit -> 'a) ->
     'a
   (** Run [f], retrying on [Transient]-classified exceptions up to
-      [policy.attempts] total attempts with {!backoff} between them.
+      [policy.attempts] total attempts with {!backoff} between them —
+      the jitter seed is [(seed, label)] (FNV-1a of the label folded
+      into [seed]), so concurrent phases de-correlate their schedules
+      while staying reproducible for every worker count.
       Fatal exceptions propagate immediately; exhausting the attempts
       raises {!Gave_up}. [f] must be restartable: each attempt must
       redo any state the previous one half-built (the tape-walking

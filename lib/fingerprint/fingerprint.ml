@@ -21,9 +21,11 @@ let bits_of v = max 1 (int_of_float (ceil (log (float_of_int (max 2 v)) /. log 2
    its registers from scratch. Fault-free runs skip the combinator and
    are bit-identical to the pre-fault code. *)
 let phase ?faults ?retry ~label f =
-  match faults with
-  | None -> f ()
-  | Some p -> Faults.Retry.run ?policy:retry ~seed:(Faults.Plan.seed p) ~label f
+  match (faults, retry) with
+  | None, None -> f ()
+  | _ ->
+      let seed = match faults with Some p -> Faults.Plan.seed p | None -> 0 in
+      Faults.Retry.run ?policy:retry ~seed ~label f
 
 let run ?faults ?retry ?obs ?device st inst =
   let g = Tape.Group.create ?device () in
@@ -40,8 +42,11 @@ let run ?faults ?retry ?obs ?device st inst =
     | _ -> Some Tape.Device.Codec.tuple_char
   in
   let tape = Tape.Group.tape g ~name:"input" ?codec ~blank:'_' () in
-  Tape.preload_seq tape (String.to_seq encoded);
   Fun.protect ~finally:(fun () -> Tape.Group.close_all g) @@ fun () ->
+  (* the preload is device-level and idempotent, so a below-seam I/O
+     fault during the initial spill heals by re-preloading *)
+  phase ?faults ?retry ~label:"fp-preload" (fun () ->
+      Tape.preload_seq tape (String.to_seq encoded));
   (match faults with None -> () | Some p -> Faults.attach_char p tape);
   (* Under injection a read may return any symbol (a stuck read shows
      the blank); parse leniently then instead of rejecting the input. *)

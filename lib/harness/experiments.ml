@@ -1151,6 +1151,289 @@ let exp18 () =
     \  devices actually stream the run files through their bounded caches.\n\
     \  (Scale with STLB_E18_N; the committed numbers use the 10^7 default.)"
 
+let exp19 () =
+  (* Crash- and corruption-hardened devices: the same deciders as E18,
+     but the backing files are made hostile on purpose. A seeded
+     [Faults.Storage] plan injects faults BELOW the [Device.Raw]
+     syscall seam — bit rot on readback, EIO, short transfers, torn
+     writes at the pwrite boundary — and the device layer's CRC
+     framing must turn every corruption into either a clean recovery
+     (quarantine + re-read, paid for in honest reversals by the
+     retrying phase) or a loud abort. The invariant on display: a
+     corrupted run NEVER silently changes a verdict. Everything is
+     seeded and main-domain, so the table is bit-identical across
+     -j 1/2/4. Scale with STLB_E19_N (the committed numbers use the
+     default). *)
+  let module S = Faults.Storage in
+  let n = 10 in
+  let target =
+    match Sys.getenv_opt "STLB_E19_N" with
+    | Some v -> ( try max 1024 (int_of_string v) with Failure _ -> 200_000)
+    | None -> 200_000
+  in
+  let m = max 2 (target / (2 * (n + 1))) in
+  let m_fp = max 2 (min 1000 (target / (2 * (n + 1)))) in
+  let n_fp = max 1 ((target / (2 * m_fp)) - 1) in
+  let st = fresh_state () in
+  let inst = G.yes_instance st D.Multiset_equality ~m ~n in
+  let inst_fp = G.yes_instance st D.Multiset_equality ~m:m_fp ~n:n_fp in
+  let size = I.size inst in
+  let spill =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stlb-e19-%d" (Unix.getpid ()))
+  in
+  (* Geometry scaled to the instance so every pass genuinely streams
+     through the raw seam at ANY STLB_E19_N: each item tape (~m cells,
+     ~size/2 bytes) spans a few dozen blocks and the cache holds only
+     four of them. A function of [size] alone, so it is identical
+     across -j 1/2/4. *)
+  let block_bytes = max 256 (min (1 lsl 16) (size / 48)) in
+  let device_for ~raw dev_name =
+    match dev_name with
+    | "file" -> Tape.Device.file_spec ~block_bytes ~cache_blocks:4 ~raw spill
+    | _ -> Tape.Device.shard_spec ~shard_bytes:block_bytes ~cache_shards:2 ~raw spill
+  in
+  let retry = { Faults.Retry.default with Faults.Retry.attempts = 8 } in
+  let seed = 0x5EED in
+  (* one row: run [decider] on [dev_name] under [plan], classify the
+     outcome, and report the recovery counters attributable to it *)
+  let run_one ~decider ~dev_name plan =
+    let raw = S.raw_for plan in
+    let device = device_for ~raw dev_name in
+    let before = Obs.Counters.snapshot () in
+    let label = match decider with `Sort -> "merge sort" | `Fp -> "fingerprint" in
+    let r = Obs.Ledger.Recorder.create ~label () in
+    let outcome =
+      try
+        let verdict =
+          match decider with
+          | `Sort -> fst (Extsort.multiset_equality ~retry ~obs:r ~device inst)
+          | `Fp -> Fingerprint.decide ~retry ~obs:r ~device (fresh_state ()) inst_fp
+        in
+        Ok verdict
+      with
+      | Faults.Retry.Gave_up _ -> Error "gave-up"
+      | Tape.Device.Corrupt _ -> Error "corrupt"
+      | S.Crashed _ -> Error "crash"
+      | Unix.Unix_error (Unix.ENOSPC, _, _) -> Error "enospc"
+      | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    in
+    let d = Obs.Counters.diff (Obs.Counters.snapshot ()) ~since:before in
+    let ledger_n = match decider with `Sort -> size | `Fp -> I.size inst_fp in
+    let l = Obs.Ledger.Recorder.ledger ~n:ledger_n r in
+    (outcome, d, l)
+  in
+  let spec_of = function
+    | `Sort -> Obs.Audit.mergesort_spec
+    | `Fp -> Obs.Audit.fingerprint_spec
+  in
+  let t =
+    T.create
+      ~title:
+        (Printf.sprintf
+           "E19 [storage faults]  deciders under a seeded below-seam fault \
+            campaign (N = %d, retry x%d)"
+           size retry.Faults.Retry.attempts)
+      ~columns:
+        [
+          "decider"; "device"; "faults"; "outcome"; "verdict"; "corrupt";
+          "rereads"; "retries"; "scans"; "audit";
+        ]
+  in
+  let campaigns =
+    [
+      ("none", S.zero);
+      ("rot 1e-3", { S.zero with S.bit_rot = 1.0e-3 });
+      ("rot 5e-2", { S.zero with S.bit_rot = 5.0e-2 });
+      ("eio 2e-3", { S.zero with S.io_error = 2.0e-3 });
+      ("short 0.2", { S.zero with S.short_read = 0.2; S.short_write = 0.2 });
+      ("torn 2e-3", { S.zero with S.torn_write = 2.0e-3 });
+    ]
+  in
+  let pairs = [ (`Sort, "file"); (`Sort, "shard"); (`Fp, "file") ] in
+  (* ops drawn by the clean run of each pair: the crash rows below
+     place their crash point halfway into the same workload, so the
+     point scales with STLB_E19_N instead of silently missing *)
+  let clean_ops = Hashtbl.create 4 in
+  let clean_scans = Hashtbl.create 4 in
+  List.iter
+    (fun (fault_label, rates) ->
+      List.iter
+        (fun (decider, dev_name) ->
+          let plan = S.Plan.create ~seed ~rates () in
+          let outcome, d, l = run_one ~decider ~dev_name plan in
+          let dec_label =
+            match decider with `Sort -> "merge sort" | `Fp -> "fingerprint"
+          in
+          if fault_label = "none" then begin
+            Hashtbl.replace clean_ops (dec_label, dev_name) (S.Plan.ops plan);
+            Hashtbl.replace clean_scans (dec_label, dev_name) l.Obs.Ledger.scans
+          end;
+          let audit =
+            match outcome with
+            | Ok _ ->
+                let o = Obs.Audit.check (spec_of decider) l in
+                Obs.Trace.ledger_current l;
+                Obs.Trace.audit_current o;
+                if o.Obs.Audit.ok then "PASS" else "FAIL"
+            | Error _ -> "-"
+          in
+          T.add_row t
+            [
+              dec_label;
+              dev_name;
+              fault_label;
+              (match outcome with Ok _ -> "ok" | Error e -> "ABORT:" ^ e);
+              (match outcome with
+              | Ok true -> "accept"
+              | Ok false -> "reject"
+              | Error _ -> "-");
+              string_of_int d.Obs.Counters.device_corrupt_detected;
+              string_of_int d.Obs.Counters.device_quarantine_rereads;
+              string_of_int d.Obs.Counters.retry_attempts;
+              string_of_int l.Obs.Ledger.scans;
+              audit;
+            ])
+        pairs)
+    campaigns;
+  (* one full-disk row: the k-th and every later raw write fails with
+     ENOSPC — fatal by classification, never retried *)
+  (let plan = S.Plan.create ~enospc_after:10 ~seed ~rates:S.zero () in
+   let outcome, d, l = run_one ~decider:`Sort ~dev_name:"file" plan in
+   T.add_row t
+     [
+       "merge sort"; "file"; "enospc@10";
+       (match outcome with Ok _ -> "ok" | Error e -> "ABORT:" ^ e);
+       "-";
+       string_of_int d.Obs.Counters.device_corrupt_detected;
+       string_of_int d.Obs.Counters.device_quarantine_rereads;
+       string_of_int d.Obs.Counters.retry_attempts;
+       string_of_int l.Obs.Ledger.scans;
+       "-";
+     ]);
+  T.print t;
+  (* ---- crash-and-resume: die halfway, reopen, recompute ---- *)
+  let t2 =
+    T.create ~title:"E19b [crash + resume]  crash at the midpoint raw syscall"
+      ~columns:
+        [
+          "decider"; "device"; "crash at"; "crashed"; "resume verdict";
+          "resume scans"; "identical";
+        ]
+  in
+  List.iter
+    (fun (dec_label, dev_name) ->
+      let total = try Hashtbl.find clean_ops (dec_label, dev_name) with Not_found -> 0 in
+      let k = max 1 (total / 2) in
+      let crash_plan = S.Plan.create ~crash_at:k ~seed ~rates:S.zero () in
+      let crashed =
+        match run_one ~decider:`Sort ~dev_name crash_plan with
+        | Error "crash", _, _ -> true
+        | _ -> false
+      in
+      let resume_plan = S.Plan.create ~seed ~rates:S.zero () in
+      let outcome, _, l = run_one ~decider:`Sort ~dev_name resume_plan in
+      let baseline = try Hashtbl.find clean_scans (dec_label, dev_name) with Not_found -> -1 in
+      T.add_row t2
+        [
+          dec_label;
+          dev_name;
+          Printf.sprintf "op %d/%d" k total;
+          (if crashed then "yes" else "no");
+          (match outcome with
+          | Ok true -> "accept"
+          | Ok false -> "reject"
+          | Error e -> "ABORT:" ^ e);
+          string_of_int l.Obs.Ledger.scans;
+          (if l.Obs.Ledger.scans = baseline && outcome = Ok true then "yes"
+           else "NO");
+        ])
+    [ ("merge sort", "file"); ("merge sort", "shard") ];
+  T.print t2;
+  (* ---- the reopen protocol, offline: scrub a synthetic crashed
+     spill directory built byte-by-byte from the documented formats *)
+  let scrub_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stlb-e19scrub-%d" (Unix.getpid ()))
+  in
+  Unix.mkdir scrub_dir 0o755;
+  let write path s =
+    let oc = Out_channel.open_bin path in
+    Out_channel.output_string oc s;
+    Out_channel.close oc
+  in
+  let be32 v =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_be b 0 (Int32.of_int v);
+    Bytes.to_string b
+  in
+  (* a .tape file: magic header, one intact frame, one rotted frame,
+     and a 3-byte torn tail from a crash mid-pwrite *)
+  let bbytes = 8 in
+  let payload = "\x00\x04ROTS\x00\x00" in
+  let frame p = "\x01" ^ be32 (Tape.Device.crc32 p) ^ p in
+  let rotted = "\x01" ^ be32 (Tape.Device.crc32 payload) ^ "\x00\x04ROTT\x00\x00" in
+  write
+    (Filename.concat scrub_dir "xs-0.tape")
+    ("STLBTAP2" ^ be32 bbytes ^ be32 8 ^ frame payload ^ rotted ^ "\x01\x02\x03");
+  (* a shard directory: MANIFEST vouches for run 0; run 1 is an
+     unlisted orphan, run 2 a torn tmp *)
+  let sdir = Filename.concat scrub_dir "ys-1" in
+  Unix.mkdir sdir 0o755;
+  let shard_frame p = "STLBSHD2" ^ be32 (Tape.Device.crc32 p) ^ p in
+  let sp = "\x01\x02a\x00" in
+  write (Filename.concat sdir "run-000000.shard") (shard_frame sp);
+  write (Filename.concat sdir "run-000001.shard") (shard_frame "\x01\x02b\x00");
+  write (Filename.concat sdir "run-000002.shard.tmp") "half a sh";
+  write (Filename.concat sdir "MANIFEST")
+    (Printf.sprintf "STLBMAN2\n%08x %d run-000000.shard\n"
+       (Tape.Device.crc32 sp) (String.length sp));
+  let count what (rep : Tape.Device.Scrub.report) =
+    List.length
+      (List.filter (fun f -> f.Tape.Device.Scrub.what = what) rep.Tape.Device.Scrub.findings)
+  in
+  let t3 =
+    T.create ~title:"E19c [reopen protocol]  stlb scrub over a crashed spill"
+      ~columns:
+        [
+          "step"; "files"; "blocks"; "crc-mismatch"; "torn"; "orphan"; "removed";
+        ]
+  in
+  let scrub_row step ~fix =
+    let rep = Tape.Device.Scrub.dir ~fix scrub_dir in
+    T.add_row t3
+      [
+        step;
+        string_of_int rep.Tape.Device.Scrub.files_checked;
+        string_of_int rep.Tape.Device.Scrub.blocks_checked;
+        string_of_int (count "crc-mismatch" rep);
+        string_of_int (count "torn" rep);
+        string_of_int (count "orphan" rep);
+        string_of_int rep.Tape.Device.Scrub.removed;
+      ]
+  in
+  scrub_row "scrub" ~fix:false;
+  scrub_row "scrub --fix" ~fix:true;
+  scrub_row "re-scrub" ~fix:false;
+  T.print t3;
+  (* leave no trace of either scratch tree *)
+  ignore (Tape.Device.Scrub.dir ~fix:true scrub_dir);
+  (try Sys.remove (Filename.concat scrub_dir "xs-0.tape") with Sys_error _ -> ());
+  (try Unix.rmdir sdir with Unix.Unix_error _ -> ());
+  (try Unix.rmdir scrub_dir with Unix.Unix_error _ -> ());
+  (try Unix.rmdir spill with Unix.Unix_error _ -> ());
+  print_endline
+    "  expected: every corruption is either healed (corrupt = rereads, paid\n\
+    \  in retries and extra scans) or aborts loudly - no row ever reports a\n\
+    \  wrong verdict. Recovery is not free: a heavily-faulted run that still\n\
+    \  completes can honestly FAIL its theorem-budget audit, because re-scans\n\
+    \  cost real reversals the fault-free bound never budgeted for. ENOSPC is\n\
+    \  fatal by classification (exit 10 at the CLI). A crash at any raw-\n\
+    \  syscall point recovers by reopen + recompute with bit-identical scans,\n\
+    \  and the scrub pass discards exactly the torn and orphaned frames the\n\
+    \  crash left behind.\n\
+    \  (Scale with STLB_E19_N; the committed numbers use the default.)"
+
 let all : (string * (unit -> unit)) list =
   [
     ("exp1", exp1);
@@ -1171,6 +1454,7 @@ let all : (string * (unit -> unit)) list =
     ("exp16", exp16);
     ("exp17", exp17);
     ("exp18", exp18);
+    ("exp19", exp19);
   ]
 
 let run_all ?checkpoint () =

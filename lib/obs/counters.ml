@@ -8,6 +8,9 @@ type snapshot = {
   checkpoint_stored : int;
   checkpoint_replayed : int;
   checkpoint_discarded : int;
+  device_corrupt_detected : int;
+  device_quarantine_rereads : int;
+  device_cleanup_failures : int;
 }
 
 let zero =
@@ -21,6 +24,9 @@ let zero =
     checkpoint_stored = 0;
     checkpoint_replayed = 0;
     checkpoint_discarded = 0;
+    device_corrupt_detected = 0;
+    device_quarantine_rereads = 0;
+    device_cleanup_failures = 0;
   }
 
 let retry_attempts = Atomic.make 0
@@ -40,6 +46,8 @@ let all =
     checkpoint_replayed; checkpoint_discarded;
   ]
 
+(* the device_* fields are owned by [Tape.Device] (the tape library
+   cannot depend on this one); snapshotting reads its atomics *)
 let snapshot () =
   {
     retry_attempts = Atomic.get retry_attempts;
@@ -51,6 +59,9 @@ let snapshot () =
     checkpoint_stored = Atomic.get checkpoint_stored;
     checkpoint_replayed = Atomic.get checkpoint_replayed;
     checkpoint_discarded = Atomic.get checkpoint_discarded;
+    device_corrupt_detected = Tape.Device.corrupt_detected ();
+    device_quarantine_rereads = Tape.Device.quarantine_rereads ();
+    device_cleanup_failures = Tape.Device.cleanup_failures ();
   }
 
 let diff now ~since =
@@ -65,9 +76,17 @@ let diff now ~since =
     checkpoint_stored = now.checkpoint_stored - since.checkpoint_stored;
     checkpoint_replayed = now.checkpoint_replayed - since.checkpoint_replayed;
     checkpoint_discarded = now.checkpoint_discarded - since.checkpoint_discarded;
+    device_corrupt_detected =
+      now.device_corrupt_detected - since.device_corrupt_detected;
+    device_quarantine_rereads =
+      now.device_quarantine_rereads - since.device_quarantine_rereads;
+    device_cleanup_failures =
+      now.device_cleanup_failures - since.device_cleanup_failures;
   }
 
-let reset () = List.iter (fun c -> Atomic.set c 0) all
+let reset () =
+  List.iter (fun c -> Atomic.set c 0) all;
+  Tape.Device.reset_health ()
 
 let add c n = if n <> 0 then ignore (Atomic.fetch_and_add c n)
 

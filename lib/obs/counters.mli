@@ -26,6 +26,15 @@ type snapshot = {
   checkpoint_discarded : int;
       (** corrupt/unparsable journal entries discarded — surfaced here
           so silent discards show up in every ledger *)
+  device_corrupt_detected : int;
+      (** CRC-framed device reads that failed verification
+          ({!Tape.Device.Corrupt} raises) *)
+  device_quarantine_rereads : int;
+      (** quarantined blocks re-read cleanly — the recovery path *)
+  device_cleanup_failures : int;
+      (** close/remove failures during device close; each one is a
+          potentially leaked spill file, surfaced so it is never
+          invisible *)
 }
 
 val zero : snapshot
@@ -37,7 +46,8 @@ val diff : snapshot -> since:snapshot -> snapshot
 (** Field-wise subtraction: the activity between two snapshots. *)
 
 val reset : unit -> unit
-(** Zero every counter (tests only). *)
+(** Zero every counter, including the device-side health atomics this
+    module mirrors (tests only). *)
 
 (** {2 Incrementors — called by the instrumented layers} *)
 

@@ -63,6 +63,9 @@ let ledger_fields (l : Ledger.t) =
     ("pool_chunks", Int c.Counters.pool_chunks);
     ("pool_chunk_retries", Int c.Counters.pool_chunk_retries);
     ("checkpoint_discarded", Int c.Counters.checkpoint_discarded);
+    ("device_corrupt", Int c.Counters.device_corrupt_detected);
+    ("device_rereads", Int c.Counters.device_quarantine_rereads);
+    ("device_cleanup_failures", Int c.Counters.device_cleanup_failures);
   ]
 
 let emit_ledger t l = emit t ~event:"ledger" (ledger_fields l)
@@ -113,6 +116,33 @@ let audit_current o =
 
 let device_current ~label ~kind s =
   match !current_sink with None -> () | Some t -> emit_device t ~label ~kind s
+
+(* Device integrity events flow into whatever sink is current. The
+   listener is installed once, at link time; it emits tape names and
+   cell offsets (never backing paths, whose names embed pids and
+   allocation counters) plus the basename of a leaked file, so traces
+   of identically-seeded runs stay byte-identical. *)
+let () =
+  Tape.Device.on_event (fun e ->
+      match e with
+      | Tape.Device.Corrupt_detected { device; offset } ->
+          emit_current ~event:"storage"
+            [
+              ("what", String "corrupt"); ("device", String device);
+              ("offset", Int offset);
+            ]
+      | Tape.Device.Quarantine_reread { device; offset } ->
+          emit_current ~event:"storage"
+            [
+              ("what", String "reread"); ("device", String device);
+              ("offset", Int offset);
+            ]
+      | Tape.Device.Cleanup_failed { device; path; error = _ } ->
+          emit_current ~event:"storage"
+            [
+              ("what", String "cleanup-failed"); ("device", String device);
+              ("file", String (Filename.basename path));
+            ])
 
 let with_sink t f =
   let saved = !current_sink in

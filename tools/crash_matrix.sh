@@ -1,0 +1,70 @@
+#!/bin/sh
+# Crash-matrix: kill `stlb decide` at seeded raw-syscall crash points,
+# scrub the spill it left behind, re-run, and require the recovered
+# run's stdout AND event trace to be byte-identical to an
+# uninterrupted reference. Also proves the checkpoint-journal path:
+# a journaled decide replays verbatim without touching the tapes.
+#
+# Usage: crash_matrix.sh STLB_EXE [WORKDIR]
+# Exits non-zero on the first divergence.
+set -u
+
+STLB=$1
+WORK=${2:-crash-matrix-work}
+rm -rf "$WORK"
+mkdir -p "$WORK"
+fail() { echo "crash-matrix: FAIL: $1" >&2; exit 1; }
+
+"$STLB" gen -m 512 -n 12 --seed 11 >"$WORK/inst.txt" || fail "gen"
+
+for dev in file shard; do
+  # shard files are 16 blocks: 64-byte blocks keep both backends small
+  # enough that every pass streams and crash points land mid-data
+  bs=64
+  ref_spill="$WORK/ref-$dev"
+  "$STLB" decide -f "$WORK/inst.txt" --device $dev --block-size $bs \
+    --spill-dir "$ref_spill" --trace "$WORK/ref-$dev.jsonl" \
+    >"$WORK/ref-$dev.out" || fail "$dev reference run"
+  [ -z "$(find "$ref_spill" -type f 2>/dev/null)" ] ||
+    fail "$dev reference left spill files"
+
+  for k in 9 60 150 400; do
+    spill="$WORK/spill-$dev-$k"
+    "$STLB" decide -f "$WORK/inst.txt" --device $dev --block-size $bs \
+      --spill-dir "$spill" --crash-at $k >/dev/null 2>&1
+    [ $? -eq 70 ] || fail "$dev crash-at $k: expected exit 70"
+
+    # reopen protocol: discard torn/orphaned frames, keep survivors
+    "$STLB" scrub --fix "$spill" >/dev/null
+    s=$?
+    { [ $s -eq 0 ] || [ $s -eq 12 ]; } || fail "$dev scrub after crash at $k"
+    "$STLB" scrub "$spill" >/dev/null ||
+      fail "$dev re-scrub not clean after fix (crash at $k)"
+
+    # resume: recompute through the scrubbed directory; verdict and
+    # cost accounting must match the uninterrupted reference exactly
+    "$STLB" decide -f "$WORK/inst.txt" --device $dev --block-size $bs \
+      --spill-dir "$spill" --trace "$WORK/res-$dev-$k.jsonl" \
+      >"$WORK/res-$dev-$k.out" || fail "$dev resume after crash at $k"
+    cmp -s "$WORK/ref-$dev.out" "$WORK/res-$dev-$k.out" ||
+      fail "$dev stdout diverged after crash at $k"
+    cmp -s "$WORK/ref-$dev.jsonl" "$WORK/res-$dev-$k.jsonl" ||
+      fail "$dev trace diverged after crash at $k"
+    [ -z "$(find "$spill" -type f 2>/dev/null)" ] ||
+      fail "$dev resume left spill files (crash at $k)"
+  done
+done
+
+# checkpoint journal: first run computes and journals, second replays
+# byte-identically with the tapes untouched (no spill dir is created)
+"$STLB" decide -f "$WORK/inst.txt" --device file --block-size 64 \
+  --spill-dir "$WORK/ck-spill" --checkpoint "$WORK/ckpt" \
+  >"$WORK/ck-a.out" || fail "checkpoint first run"
+"$STLB" decide -f "$WORK/inst.txt" --device file --block-size 64 \
+  --spill-dir "$WORK/ck-spill-2" --checkpoint "$WORK/ckpt" \
+  >"$WORK/ck-b.out" || fail "checkpoint replay run"
+cmp -s "$WORK/ck-a.out" "$WORK/ck-b.out" || fail "checkpoint replay diverged"
+[ ! -d "$WORK/ck-spill-2" ] || fail "checkpoint replay touched the tapes"
+
+rm -rf "$WORK"
+echo "crash-matrix: OK (2 devices x 4 crash points + checkpoint replay)"
