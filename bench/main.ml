@@ -179,6 +179,52 @@ let print_estimates estimates =
       | None -> Printf.printf "  %-34s (no estimate)\n" name)
     estimates
 
+(* (name, loadgen summary) per serve scenario: an in-process
+   [Serve.Server] on its own domain driven by the deterministic mixed
+   workload, so the trajectory tracks request throughput and tail
+   latency alongside the micro ns/run numbers. Scenarios stay small
+   (sub-second); tools/bench_guard.sh warns when p99 regresses. *)
+let serve_estimates ~quick () =
+  let requests = if quick then 80 else 400 in
+  let scenarios =
+    [ ("serve/singleton-j1", 1, 1); ("serve/batch8-j2", 2, 8) ]
+  in
+  List.mapi
+    (fun i (name, jobs, batch) ->
+      let socket =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "stlb-bench-%d-%d.sock" (Unix.getpid ()) i)
+      in
+      let cfg =
+        { (Serve.Server.default ~socket) with Serve.Server.seed = 42;
+          domains = jobs }
+      in
+      let ready = Atomic.make false in
+      let srv =
+        Domain.spawn (fun () ->
+            Serve.Server.run ~on_ready:(fun () -> Atomic.set ready true) cfg)
+      in
+      while not (Atomic.get ready) do
+        Unix.sleepf 0.002
+      done;
+      let s =
+        Serve.Loadgen.run ~socket ~requests ~batch ~m:6 ~n:8 ~seed:7 ()
+      in
+      let c = Serve.Client.connect socket in
+      Serve.Client.shutdown c ~id:requests;
+      Serve.Client.close c;
+      Domain.join srv;
+      (name, s))
+    scenarios
+
+let print_serve serve =
+  print_endline "Serve scenarios (loadgen over a Unix-domain socket):";
+  List.iter
+    (fun (name, (s : Serve.Loadgen.summary)) ->
+      Printf.printf "  %-34s %10.1f req/s   p50 %8.1f us   p99 %8.1f us\n"
+        name s.Serve.Loadgen.rps s.Serve.Loadgen.p50_us s.Serve.Loadgen.p99_us)
+    serve
+
 let time_tables () =
   List.map
     (fun (name, f) ->
@@ -206,7 +252,7 @@ let json_string s =
   Buffer.add_char buf '"';
   Buffer.contents buf
 
-let write_trajectory ~path ~quick ~estimates ~tables =
+let write_trajectory ~path ~quick ~estimates ~serve ~tables =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -221,6 +267,17 @@ let write_trajectory ~path ~quick ~estimates ~tables =
         (match est with Some e -> Printf.sprintf "%.1f" e | None -> "null")
         (if i = List.length estimates - 1 then "" else ","))
     estimates;
+  out "  ],\n";
+  out "  \"serve\": [\n";
+  List.iteri
+    (fun i (name, (s : Serve.Loadgen.summary)) ->
+      out
+        "    {\"name\": %s, \"rps\": %.1f, \"p50_us\": %.1f, \"p99_us\": \
+         %.1f, \"fingerprint\": \"0x%016Lx\"}%s\n"
+        (json_string name) s.Serve.Loadgen.rps s.Serve.Loadgen.p50_us
+        s.Serve.Loadgen.p99_us s.Serve.Loadgen.fingerprint
+        (if i = List.length serve - 1 then "" else ","))
+    serve;
   out "  ],\n";
   out "  \"tables\": [\n";
   List.iteri
@@ -243,7 +300,10 @@ let run_micro ?json ~quick () =
       let tables = if quick then [] else time_tables () in
       let estimates = micro_estimates ~quota in
       print_estimates estimates;
-      write_trajectory ~path ~quick ~estimates ~tables;
+      (* after Bechamel so the socket servers see a settled heap *)
+      let serve = serve_estimates ~quick () in
+      print_serve serve;
+      write_trajectory ~path ~quick ~estimates ~serve ~tables;
       Printf.printf "wrote bench trajectory to %s\n" path
 
 let usage () =

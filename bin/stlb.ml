@@ -5,9 +5,14 @@
      gen         generate problem instances
      decide      run a decider (reference / sort / fingerprint / nst)
      adversary   run the Lemma 21 attack on a staircase list machine
-     experiment  run one (or all) of the E1..E19 experiment tables,
+     experiment  run one (or all) of the E1..E20 experiment tables,
                  optionally journaling/resuming via --checkpoint and
                  emitting a JSONL event trace via --trace
+     serve       expose the deciders over a Unix-domain socket (stlb/1,
+                 PROTOCOL.md); per-request verdicts depend only on
+                 (--seed, request id) - replayable across restarts
+     loadgen     drive a deterministic mixed workload against serve and
+                 report throughput + latency percentiles
      classes     print the paper's classification table
      sortedness  sortedness of the reverse-binary permutation
 
@@ -370,6 +375,170 @@ let decide_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+let socket_arg =
+  let doc = "Unix-domain socket path the server listens on." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let run socket seed jobs dev block_size spill_dir max_scans max_frame
+      max_batch queue_bound max_requests trace =
+    with_trace trace @@ fun () ->
+    let spill () =
+      match spill_dir with
+      | Some d -> d
+      | None ->
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "stlb-serve-spill-%d" (Unix.getpid ()))
+    in
+    let device =
+      match dev with
+      | `Mem -> None
+      | `File ->
+          Some
+            (Tape.Device.file_spec ~block_bytes:block_size ~cache_blocks:16
+               (spill ()))
+      | `Shard ->
+          Some
+            (Tape.Device.shard_spec ~shard_bytes:(16 * block_size)
+               ~cache_shards:2 (spill ()))
+    in
+    let domains = match jobs with Some d when d >= 1 -> d | _ -> 1 in
+    let cfg =
+      {
+        (Serve.Server.default ~socket) with
+        Serve.Server.seed;
+        domains;
+        device;
+        max_scans;
+        max_frame;
+        max_batch;
+        queue_bound;
+        max_requests;
+      }
+    in
+    Printf.printf
+      "stlb serve: listening on %s (seed %d, %d domain(s), device %s)\n%!"
+      socket seed domains
+      (match dev with `Mem -> "mem" | `File -> "file" | `Shard -> "shard");
+    Serve.Server.run cfg;
+    Printf.printf "stlb serve: shut down cleanly\n%!"
+  in
+  let max_frame_arg =
+    let doc = "Largest accepted frame payload in bytes (bigger frames are \
+               answered with a TOO_LARGE error)." in
+    Arg.(value & opt int (1 lsl 20) & info [ "max-frame" ] ~docv:"BYTES" ~doc)
+  in
+  let max_batch_arg =
+    let doc = "Decide items accepted per BATCH frame (bigger batches are \
+               shed with an OVERLOADED error)." in
+    Arg.(value & opt int 64 & info [ "max-batch" ] ~docv:"K" ~doc)
+  in
+  let queue_bound_arg =
+    let doc =
+      "Pending-request bound: frames arriving while $(docv) requests are \
+       already queued are shed with an OVERLOADED error instead of \
+       stalling the read loop."
+    in
+    Arg.(value & opt int 128 & info [ "queue-bound" ] ~docv:"K" ~doc)
+  in
+  let max_requests_arg =
+    let doc =
+      "Stop serving after $(docv) frames (the smoke-test safety net); \
+       default: run until a SHUTDOWN frame."
+    in
+    Arg.(value & opt (some int) None & info [ "max-requests" ] ~docv:"K" ~doc)
+  in
+  let max_scans_arg =
+    let doc =
+      "Enforce a scan budget on sort-decider requests: exceeding $(docv) \
+       scans reports a BUDGET error for that request (the server keeps \
+       running)."
+    in
+    Arg.(value & opt (some int) None & info [ "max-scans" ] ~docv:"R" ~doc)
+  in
+  let device_arg =
+    let doc =
+      "Tape cell storage for sort and fingerprint requests: $(b,mem), \
+       $(b,file) or $(b,shard). Verdicts are backend-independent."
+    in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("mem", `Mem); ("file", `File); ("shard", `Shard) ]) `Mem
+      & info [ "device" ] ~docv:"DEV" ~doc)
+  in
+  let block_size_arg =
+    let doc = "Cache block size in bytes for $(b,--device file)." in
+    Arg.(value & opt int 65536 & info [ "block-size" ] ~docv:"BYTES" ~doc)
+  in
+  let spill_dir_arg =
+    let doc = "Directory for device backing files." in
+    Arg.(value & opt (some string) None & info [ "spill-dir" ] ~docv:"DIR" ~doc)
+  in
+  let doc =
+    "Serve the deciders over a Unix-domain socket (the stlb/1 protocol, \
+     PROTOCOL.md). Every verdict is a function of ($(b,--seed), request \
+     id) only - identical across worker counts, batching, devices and \
+     restarts."
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~exits)
+    Term.(
+      const run $ socket_arg $ seed_arg $ jobs_arg $ device_arg
+      $ block_size_arg $ spill_dir_arg $ max_scans_arg $ max_frame_arg
+      $ max_batch_arg $ queue_bound_arg $ max_requests_arg $ trace_arg)
+
+let loadgen_cmd =
+  let run socket seed requests batch first_id m n shutdown =
+    (* --requests 0 --shutdown is the documented pure-stop command *)
+    if requests > 0 then begin
+      let s =
+        Serve.Loadgen.run ~socket ~requests ~batch ~first_id ~m ~n ~seed ()
+      in
+      Serve.Loadgen.print_summary s
+    end;
+    if shutdown then begin
+      let c = Serve.Client.connect socket in
+      Serve.Client.shutdown c ~id:(first_id + requests);
+      Serve.Client.close c
+    end
+  in
+  let requests_arg =
+    let doc =
+      "Decide requests to send (ids first-id .. first-id+$(docv)-1); 0 \
+       skips the load phase (useful with $(b,--shutdown))."
+    in
+    Arg.(value & opt int 100 & info [ "requests" ] ~docv:"K" ~doc)
+  in
+  let batch_arg =
+    let doc = "Group requests into BATCH frames of $(docv) (1 = singleton \
+               DECIDE frames)." in
+    Arg.(value & opt int 1 & info [ "batch" ] ~docv:"K" ~doc)
+  in
+  let first_id_arg =
+    let doc = "First request id." in
+    Arg.(value & opt int 0 & info [ "first-id" ] ~docv:"ID" ~doc)
+  in
+  let shutdown_arg =
+    let doc = "Send a SHUTDOWN frame after the run (stops the server)." in
+    Arg.(value & flag & info [ "shutdown" ] ~doc)
+  in
+  let doc =
+    "Drive a deterministic mixed decider workload (fingerprint, sort, nst \
+     across all three problems) against a running $(b,stlb serve) and \
+     report requests/s with p50/p99 latency. Same ($(b,--seed), \
+     $(b,--first-id), $(b,--requests)) + same server seed = the same \
+     workload fingerprint, bit for bit."
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc ~exits)
+    Term.(
+      const run $ socket_arg $ seed_arg $ requests_arg $ batch_arg
+      $ first_id_arg $ m_arg 6 $ n_arg 8 $ shutdown_arg)
+
+(* ------------------------------------------------------------------ *)
+
 let scrub_cmd =
   let run fix dir =
     let rep = Tape.Device.Scrub.dir ~fix dir in
@@ -463,11 +632,11 @@ let experiment_cmd =
         match List.assoc_opt name Harness.Experiments.all with
         | Some f -> Harness.Checkpoint.run checkpoint ~name f
         | None ->
-            Printf.eprintf "unknown experiment %S (exp1..exp19 or all)\n" name;
+            Printf.eprintf "unknown experiment %S (exp1..exp20 or all)\n" name;
             exit 1)
   in
   let name_arg =
-    let doc = "Experiment name: exp1..exp19, or all." in
+    let doc = "Experiment name: exp1..exp20, or all." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"NAME" ~doc)
   in
   let checkpoint_arg =
@@ -592,8 +761,9 @@ let () =
   let group =
     Cmd.group info
       [
-        gen_cmd; decide_cmd; adversary_cmd; experiment_cmd; classes_cmd;
-        sortedness_cmd; trace_cmd; simulate_cmd; scrub_cmd;
+        gen_cmd; decide_cmd; adversary_cmd; experiment_cmd; serve_cmd;
+        loadgen_cmd; classes_cmd; sortedness_cmd; trace_cmd; simulate_cmd;
+        scrub_cmd;
       ]
   in
   (* a tripped resource budget, a full disk or exhausted retries on

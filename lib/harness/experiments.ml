@@ -1434,6 +1434,130 @@ let exp19 () =
     \  crash left behind.\n\
     \  (Scale with STLB_E19_N; the committed numbers use the default.)"
 
+let exp20 () =
+  (* The deciders as a service: a real [Serve.Server] on a Unix-domain
+     socket (spawned into its own domain), driven by the [Serve.Loadgen]
+     mixed workload — fingerprint, sort (CHECK-SORT and SET-EQ) and nst
+     requests interleaved by id. Every verdict is a function of (server
+     seed, request id) alone, so the yes/no/audited counts and the
+     FNV-1a workload fingerprint must be bit-identical across worker
+     counts, device backends and frame batching; only the r/s and
+     latency cells (normalized away in the golden) may move. Scale with
+     STLB_E20_REQUESTS / STLB_E20_BATCH (the committed numbers use the
+     defaults). *)
+  let requests =
+    match Sys.getenv_opt "STLB_E20_REQUESTS" with
+    | Some v -> ( try max 8 (int_of_string v) with Failure _ -> 120)
+    | None -> 120
+  in
+  let batch =
+    match Sys.getenv_opt "STLB_E20_BATCH" with
+    | Some v -> ( try max 1 (int_of_string v) with Failure _ -> 8)
+    | None -> 8
+  in
+  let m = 6 and n = 8 in
+  let seed = 42 and load_seed = 0x5EED in
+  let spill =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stlb-e20-%d" (Unix.getpid ()))
+  in
+  let row_idx = ref 0 in
+  let run_row ~dev ~jobs ~batch =
+    incr row_idx;
+    let socket =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "stlb-e20-%d-%d.sock" (Unix.getpid ()) !row_idx)
+    in
+    let device =
+      match dev with
+      | "file" ->
+          Some (Tape.Device.file_spec ~block_bytes:4096 ~cache_blocks:4 spill)
+      | "shard" ->
+          Some (Tape.Device.shard_spec ~shard_bytes:8192 ~cache_shards:2 spill)
+      | _ -> None
+    in
+    let cfg =
+      {
+        (Serve.Server.default ~socket) with
+        Serve.Server.seed;
+        domains = jobs;
+        device;
+      }
+    in
+    let ready = Atomic.make false in
+    let srv =
+      Domain.spawn (fun () ->
+          Serve.Server.run ~on_ready:(fun () -> Atomic.set ready true) cfg)
+    in
+    while not (Atomic.get ready) do
+      Unix.sleepf 0.002
+    done;
+    let s = Serve.Loadgen.run ~socket ~requests ~batch ~m ~n ~seed:load_seed () in
+    let c = Serve.Client.connect socket in
+    Serve.Client.shutdown c ~id:requests;
+    Serve.Client.close c;
+    Domain.join srv;
+    s
+  in
+  let t =
+    T.create
+      ~title:
+        (Printf.sprintf
+           "E20 [serve]  mixed decider workload over the stlb/1 socket \
+            (requests = %d, batch = %d, m = %d, n = %d)"
+           requests batch m n)
+      ~columns:
+        [
+          "device"; "jobs"; "yes"; "no"; "errors"; "audited"; "fingerprint";
+          "req/s"; "p50"; "p99";
+        ]
+  in
+  let fingerprints = ref [] in
+  let add_row ~dev ~jobs ~batch =
+    let s = run_row ~dev ~jobs ~batch in
+    fingerprints := s.Serve.Loadgen.fingerprint :: !fingerprints;
+    T.add_row t
+      [
+        dev;
+        string_of_int jobs;
+        string_of_int s.Serve.Loadgen.yes;
+        string_of_int s.Serve.Loadgen.no;
+        string_of_int s.Serve.Loadgen.errors;
+        string_of_int s.Serve.Loadgen.audited;
+        Printf.sprintf "0x%016Lx" s.Serve.Loadgen.fingerprint;
+        (* fixed-width timing cells: the golden sed rule replaces the
+           padded number, so the rendered column widths never move *)
+        Printf.sprintf "%10.1fr/s" s.Serve.Loadgen.rps;
+        Printf.sprintf "%10.1fus" s.Serve.Loadgen.p50_us;
+        Printf.sprintf "%10.1fus" s.Serve.Loadgen.p99_us;
+      ]
+  in
+  List.iter
+    (fun (dev, jobs) -> add_row ~dev ~jobs ~batch)
+    [ ("mem", 1); ("mem", 2); ("mem", 4); ("file", 1); ("file", 2); ("file", 4) ];
+  (* the batching-parity rerun: the same ids as singleton DECIDE frames
+     must collapse to the same fingerprint as the batched rows *)
+  let singleton = run_row ~dev:"mem" ~jobs:2 ~batch:1 in
+  fingerprints := singleton.Serve.Loadgen.fingerprint :: !fingerprints;
+  T.print t;
+  (try Unix.rmdir spill with Unix.Unix_error _ -> ());
+  let total = List.length !fingerprints in
+  let distinct = List.sort_uniq Int64.compare !fingerprints in
+  Printf.printf
+    "  parity: %d device/worker rows + singleton-frame rerun -> %d/%d \
+     fingerprints %s\n"
+    (total - 1) total total
+    (if List.length distinct = 1 then "IDENTICAL" else "MISMATCH");
+  print_endline
+    "  expected: yes/no/errors/audited and the workload fingerprint are\n\
+    \  byte-identical down every row - a verdict depends only on (server\n\
+    \  seed, request id), never on the device, the worker count or how\n\
+    \  requests are packed into frames. Throughput and latency cells are\n\
+    \  machine-dependent (and normalized in the golden); on a single-core\n\
+    \  runner extra domains buy determinism coverage, not speed.\n\
+    \  (Scale with STLB_E20_REQUESTS / STLB_E20_BATCH; the committed\n\
+    \  numbers use the defaults.)"
+
 let all : (string * (unit -> unit)) list =
   [
     ("exp1", exp1);
@@ -1455,6 +1579,7 @@ let all : (string * (unit -> unit)) list =
     ("exp17", exp17);
     ("exp18", exp18);
     ("exp19", exp19);
+    ("exp20", exp20);
   ]
 
 let run_all ?checkpoint () =

@@ -23,7 +23,13 @@
       survival under retry (see [lib/faults])
     - E17: audit — measured cost ledgers ([lib/obs]) checked against
       the theorem budgets, plus a deliberately over-budget negative
-      control *)
+      control
+    - E18: scale — the spill-device backends at N = 10^7
+    - E19: recovery — deciders under a seeded below-seam storage-fault
+      campaign, plus crash points and scrub
+    - E20: serve — the deciders as a long-running service ([stlb
+      serve] + [stlb loadgen]): requests/s and p50/p99 latency across
+      worker counts and devices, with verdict parity pinned *)
 
 val exp1 : unit -> unit
 val exp2 : unit -> unit

@@ -84,6 +84,22 @@ let diff now ~since =
       now.device_cleanup_failures - since.device_cleanup_failures;
   }
 
+let to_fields s =
+  [
+    ("retry_attempts", s.retry_attempts);
+    ("retry_gave_up", s.retry_gave_up);
+    ("pool_chunks", s.pool_chunks);
+    ("pool_chunk_retries", s.pool_chunk_retries);
+    ("pool_deadline_overruns", s.pool_deadline_overruns);
+    ("pool_degraded_spawns", s.pool_degraded_spawns);
+    ("checkpoint_stored", s.checkpoint_stored);
+    ("checkpoint_replayed", s.checkpoint_replayed);
+    ("checkpoint_discarded", s.checkpoint_discarded);
+    ("device_corrupt_detected", s.device_corrupt_detected);
+    ("device_quarantine_rereads", s.device_quarantine_rereads);
+    ("device_cleanup_failures", s.device_cleanup_failures);
+  ]
+
 let reset () =
   List.iter (fun c -> Atomic.set c 0) all;
   Tape.Device.reset_health ()

@@ -45,6 +45,11 @@ val snapshot : unit -> snapshot
 val diff : snapshot -> since:snapshot -> snapshot
 (** Field-wise subtraction: the activity between two snapshots. *)
 
+val to_fields : snapshot -> (string * int) list
+(** Every field as a [(name, value)] pair, in declaration order — the
+    serialization the serve STATS endpoint and other JSON emitters
+    share, so counter names stay consistent across surfaces. *)
+
 val reset : unit -> unit
 (** Zero every counter, including the device-side health atomics this
     module mirrors (tests only). *)

@@ -31,4 +31,9 @@ let derive ~seed ~index =
 
 let state ~seed ~index = Random.State.make (derive ~seed ~index)
 
+(* The serve protocol's per-request seed rule (PROTOCOL.md §5) is the
+   chunk derivation verbatim, with the request id as the index: naming
+   it keeps the doc's cross-reference one hop from the arithmetic. *)
+let request_state ~server_seed ~request_id = state ~seed:server_seed ~index:request_id
+
 let seed_of_state st = Random.State.full_int st max_int

@@ -1,0 +1,424 @@
+(* stlb/1 frame codec. PROTOCOL.md is the normative spec; keep the two
+   in lockstep — the conformance test executes the document's hex
+   examples against this code. *)
+
+let version = 0x01
+
+(* the id space is [0, 2^62): on 64-bit OCaml that is exactly the
+   nonnegative native ints, so [max_id] is the largest VALID id (not an
+   exclusive bound — 2^62 itself does not fit in a native int) *)
+let max_id = max_int
+let default_max_frame = 1 lsl 20
+
+type algorithm = Reference | Sort | Fingerprint | Nst
+
+type decide_body = {
+  problem : Problems.Decide.problem;
+  algorithm : algorithm;
+  instance : string;
+}
+
+type verdict = {
+  verdict : bool;
+  audited : bool;
+  scans : int;
+  internal : int;
+  tapes : int;
+}
+
+type error_code =
+  | Bad_version
+  | Bad_type
+  | Malformed
+  | Too_large
+  | Overloaded
+  | Budget
+  | Audit_failed
+  | Internal
+
+type request =
+  | Ping
+  | Decide of decide_body
+  | Batch of decide_body list
+  | Stats
+  | Health
+  | Shutdown
+
+type response =
+  | Pong
+  | Verdict of verdict
+  | Batch_verdict of verdict list
+  | Stats_json of string
+  | Health_json of string
+  | Bye
+  | Error of { code : error_code; message : string }
+
+type payload = Request of request | Response of response
+type msg = { id : int; payload : payload }
+
+(* ---------------------------------------------------------------- *)
+(* byte tags (PROTOCOL.md §3)                                        *)
+
+let t_ping = 0x01
+let t_decide = 0x02
+let t_batch = 0x03
+let t_stats = 0x04
+let t_health = 0x05
+let t_shutdown = 0x06
+let t_pong = 0x81
+let t_verdict = 0x82
+let t_batch_verdict = 0x83
+let t_stats_r = 0x84
+let t_health_r = 0x85
+let t_bye = 0x86
+let t_error = 0xEE
+
+let problem_byte = function
+  | Problems.Decide.Set_equality -> 0x01
+  | Problems.Decide.Multiset_equality -> 0x02
+  | Problems.Decide.Check_sort -> 0x03
+
+let problem_of_byte = function
+  | 0x01 -> Some Problems.Decide.Set_equality
+  | 0x02 -> Some Problems.Decide.Multiset_equality
+  | 0x03 -> Some Problems.Decide.Check_sort
+  | _ -> None
+
+let algorithm_byte = function
+  | Reference -> 0x01
+  | Sort -> 0x02
+  | Fingerprint -> 0x03
+  | Nst -> 0x04
+
+let algorithm_of_byte = function
+  | 0x01 -> Some Reference
+  | 0x02 -> Some Sort
+  | 0x03 -> Some Fingerprint
+  | 0x04 -> Some Nst
+  | _ -> None
+
+let algorithm_name = function
+  | Reference -> "reference"
+  | Sort -> "sort"
+  | Fingerprint -> "fingerprint"
+  | Nst -> "nst"
+
+let error_code_byte = function
+  | Bad_version -> 0x01
+  | Bad_type -> 0x02
+  | Malformed -> 0x03
+  | Too_large -> 0x04
+  | Overloaded -> 0x05
+  | Budget -> 0x06
+  | Audit_failed -> 0x07
+  | Internal -> 0x08
+
+let error_code_of_byte = function
+  | 0x01 -> Some Bad_version
+  | 0x02 -> Some Bad_type
+  | 0x03 -> Some Malformed
+  | 0x04 -> Some Too_large
+  | 0x05 -> Some Overloaded
+  | 0x06 -> Some Budget
+  | 0x07 -> Some Audit_failed
+  | 0x08 -> Some Internal
+  | _ -> None
+
+let error_code_name = function
+  | Bad_version -> "BAD_VERSION"
+  | Bad_type -> "BAD_TYPE"
+  | Malformed -> "MALFORMED"
+  | Too_large -> "TOO_LARGE"
+  | Overloaded -> "OVERLOADED"
+  | Budget -> "BUDGET"
+  | Audit_failed -> "AUDIT_FAILED"
+  | Internal -> "INTERNAL"
+
+(* ---------------------------------------------------------------- *)
+(* encoding                                                          *)
+
+let add_u16 b v =
+  if v < 0 || v > 0xFFFF then invalid_arg "Frame: u16 out of range";
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char b (Char.chr (v land 0xFF))
+
+let add_u32 b v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Frame: u32 out of range";
+  for i = 3 downto 0 do
+    Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let add_u64 b v =
+  if v < 0 then invalid_arg "Frame: id out of range";
+  let v64 = Int64.of_int v in
+  for i = 7 downto 0 do
+    Buffer.add_char b
+      (Char.chr Int64.(to_int (logand (shift_right_logical v64 (8 * i)) 0xFFL)))
+  done
+
+let add_decide_body b (d : decide_body) =
+  Buffer.add_char b (Char.chr (problem_byte d.problem));
+  Buffer.add_char b (Char.chr (algorithm_byte d.algorithm));
+  Buffer.add_string b d.instance
+
+let add_verdict b (v : verdict) =
+  Buffer.add_char b (if v.verdict then '\x01' else '\x00');
+  Buffer.add_char b (if v.audited then '\x01' else '\x00');
+  add_u32 b v.scans;
+  add_u32 b v.internal;
+  add_u32 b v.tapes
+
+let with_len b f =
+  (* 4-byte length prefix around a sub-encoding *)
+  let mark = Buffer.length b in
+  add_u32 b 0;
+  f b;
+  let len = Buffer.length b - mark - 4 in
+  let bytes = Buffer.to_bytes b in
+  for i = 3 downto 0 do
+    Bytes.set bytes (mark + 3 - i) (Char.chr ((len lsr (8 * i)) land 0xFF))
+  done;
+  Buffer.clear b;
+  Buffer.add_bytes b bytes
+
+let encode ({ id; payload } : msg) : string =
+  if id < 0 then invalid_arg "Frame.encode: id out of range";
+  let ty, fill =
+    match payload with
+    | Request Ping -> (t_ping, fun _ -> ())
+    | Request (Decide d) -> (t_decide, fun b -> add_decide_body b d)
+    | Request (Batch items) ->
+        ( t_batch,
+          fun b ->
+            add_u16 b (List.length items);
+            List.iter (fun d -> with_len b (fun b -> add_decide_body b d)) items
+        )
+    | Request Stats -> (t_stats, fun _ -> ())
+    | Request Health -> (t_health, fun _ -> ())
+    | Request Shutdown -> (t_shutdown, fun _ -> ())
+    | Response Pong -> (t_pong, fun _ -> ())
+    | Response (Verdict v) -> (t_verdict, fun b -> add_verdict b v)
+    | Response (Batch_verdict vs) ->
+        ( t_batch_verdict,
+          fun b ->
+            add_u16 b (List.length vs);
+            List.iter (fun v -> with_len b (fun b -> add_verdict b v)) vs )
+    | Response (Stats_json s) -> (t_stats_r, fun b -> Buffer.add_string b s)
+    | Response (Health_json s) -> (t_health_r, fun b -> Buffer.add_string b s)
+    | Response Bye -> (t_bye, fun _ -> ())
+    | Response (Error { code; message }) ->
+        ( t_error,
+          fun b ->
+            Buffer.add_char b (Char.chr (error_code_byte code));
+            Buffer.add_string b message )
+  in
+  let body = Buffer.create 64 in
+  fill body;
+  let payload_len = 10 + Buffer.length body in
+  if payload_len > default_max_frame then
+    invalid_arg "Frame.encode: payload over max frame size";
+  let out = Buffer.create (4 + payload_len) in
+  add_u32 out payload_len;
+  Buffer.add_char out (Char.chr version);
+  Buffer.add_char out (Char.chr ty);
+  add_u64 out id;
+  Buffer.add_buffer out body;
+  Buffer.contents out
+
+(* ---------------------------------------------------------------- *)
+(* decoding                                                          *)
+
+type decode_result =
+  | Complete of msg * int
+  | Incomplete
+  | Broken of { code : error_code; message : string; consumed : int }
+
+let u16_at s i = (Char.code s.[i] lsl 8) lor Char.code s.[i + 1]
+
+let u32_at s i =
+  (Char.code s.[i] lsl 24)
+  lor (Char.code s.[i + 1] lsl 16)
+  lor (Char.code s.[i + 2] lsl 8)
+  lor Char.code s.[i + 3]
+
+let u64_at s i =
+  (* unsigned 64-bit read, [None] when the value needs bit 62 or above *)
+  let v = ref 0L in
+  for k = 0 to 7 do
+    v := Int64.(logor (shift_left !v 8) (of_int (Char.code s.[i + k])))
+  done;
+  if Int64.compare !v 0L < 0 || Int64.compare !v (Int64.of_int max_id) > 0 then
+    None
+  else Some (Int64.to_int !v)
+
+let peek_id buf ~pos =
+  if String.length buf - pos < 4 + 10 then None else u64_at buf (pos + 6)
+
+let decode_decide_body s off len : (decide_body, string) result =
+  if len < 2 then Stdlib.Error "decide body shorter than 2 bytes"
+  else
+    match
+      ( problem_of_byte (Char.code s.[off]),
+        algorithm_of_byte (Char.code s.[off + 1]) )
+    with
+    | None, _ -> Stdlib.Error "unknown problem byte"
+    | _, None -> Stdlib.Error "unknown algorithm byte"
+    | Some problem, Some algorithm ->
+        Ok { problem; algorithm; instance = String.sub s (off + 2) (len - 2) }
+
+let decode_verdict s off len : (verdict, string) result =
+  if len <> 14 then Stdlib.Error "verdict body must be 14 bytes"
+  else
+    match (Char.code s.[off], Char.code s.[off + 1]) with
+    | ((0 | 1) as v), ((0 | 1) as a) ->
+        Ok
+          {
+            verdict = v = 1;
+            audited = a = 1;
+            scans = u32_at s (off + 2);
+            internal = u32_at s (off + 6);
+            tapes = u32_at s (off + 10);
+          }
+    | _ -> Stdlib.Error "verdict flag bytes must be 0 or 1"
+
+(* count-prefixed list of length-prefixed items *)
+let decode_items s off len item =
+  if len < 2 then Stdlib.Error "batch body shorter than 2 bytes"
+  else begin
+    let count = u16_at s off in
+    let rec go acc k p =
+      if k = count then
+        if p = off + len then Ok (List.rev acc)
+        else Stdlib.Error "trailing bytes after last batch item"
+      else if off + len - p < 4 then Stdlib.Error "batch item length cut short"
+      else
+        let ilen = u32_at s p in
+        if off + len - (p + 4) < ilen then
+          Stdlib.Error "batch item body cut short"
+        else
+          match item s (p + 4) ilen with
+          | Stdlib.Error _ as e -> e
+          | Ok d -> go (d :: acc) (k + 1) (p + 4 + ilen)
+    in
+    go [] 0 (off + 2)
+  end
+
+let decode ?(max_frame = default_max_frame) buf ~pos =
+  let avail = String.length buf - pos in
+  if avail < 4 then Incomplete
+  else begin
+    let plen = u32_at buf pos in
+    if plen > max_frame then
+      Broken
+        {
+          code = Too_large;
+          message = Printf.sprintf "payload of %d bytes exceeds limit %d" plen max_frame;
+          consumed = 0;
+        }
+    else if plen < 10 then
+      Broken
+        {
+          code = Malformed;
+          message = "payload shorter than the 10-byte header";
+          consumed = (if avail >= 4 + plen then 4 + plen else 0);
+        }
+    else if avail < 4 + plen then Incomplete
+    else begin
+      let consumed = 4 + plen in
+      let broken code message = Broken { code; message; consumed } in
+      let ver = Char.code buf.[pos + 4] in
+      let ty = Char.code buf.[pos + 5] in
+      if ver <> version then
+        broken Bad_version (Printf.sprintf "version 0x%02x, expected 0x%02x" ver version)
+      else
+        match u64_at buf (pos + 6) with
+        | None -> broken Malformed "request id uses bit 62 or above"
+        | Some id -> (
+            let off = pos + 14 in
+            let blen = plen - 10 in
+            let complete payload = Complete ({ id; payload }, consumed) in
+            let empty payload what =
+              if blen = 0 then complete payload
+              else broken Malformed (what ^ " takes an empty body")
+            in
+            match ty with
+            | t when t = t_ping -> empty (Request Ping) "PING"
+            | t when t = t_stats -> empty (Request Stats) "STATS"
+            | t when t = t_health -> empty (Request Health) "HEALTH"
+            | t when t = t_shutdown -> empty (Request Shutdown) "SHUTDOWN"
+            | t when t = t_pong -> empty (Response Pong) "PONG"
+            | t when t = t_bye -> empty (Response Bye) "BYE"
+            | t when t = t_decide -> (
+                match decode_decide_body buf off blen with
+                | Ok d -> complete (Request (Decide d))
+                | Stdlib.Error m -> broken Malformed m)
+            | t when t = t_batch -> (
+                match decode_items buf off blen decode_decide_body with
+                | Ok items -> complete (Request (Batch items))
+                | Stdlib.Error m -> broken Malformed m)
+            | t when t = t_verdict -> (
+                match decode_verdict buf off blen with
+                | Ok v -> complete (Response (Verdict v))
+                | Stdlib.Error m -> broken Malformed m)
+            | t when t = t_batch_verdict -> (
+                match decode_items buf off blen decode_verdict with
+                | Ok vs -> complete (Response (Batch_verdict vs))
+                | Stdlib.Error m -> broken Malformed m)
+            | t when t = t_stats_r ->
+                complete (Response (Stats_json (String.sub buf off blen)))
+            | t when t = t_health_r ->
+                complete (Response (Health_json (String.sub buf off blen)))
+            | t when t = t_error -> (
+                if blen < 1 then broken Malformed "ERROR body needs a code byte"
+                else
+                  match error_code_of_byte (Char.code buf.[off]) with
+                  | None -> broken Malformed "unknown error code byte"
+                  | Some code ->
+                      complete
+                        (Response
+                           (Error
+                              {
+                                code;
+                                message = String.sub buf (off + 1) (blen - 1);
+                              })))
+            | t -> broken Bad_type (Printf.sprintf "unknown type byte 0x%02x" t))
+    end
+  end
+
+(* ---------------------------------------------------------------- *)
+(* canonical description (PROTOCOL.md worked examples)               *)
+
+let describe ({ id; payload } : msg) =
+  let verdict_str (v : verdict) =
+    Printf.sprintf "verdict=%s audited=%b scans=%d internal=%d tapes=%d"
+      (if v.verdict then "YES" else "NO")
+      v.audited v.scans v.internal v.tapes
+  in
+  let decide_str (d : decide_body) =
+    Printf.sprintf "problem=%s algorithm=%s instance=%s"
+      (Problems.Decide.problem_name d.problem)
+      (algorithm_name d.algorithm) d.instance
+  in
+  match payload with
+  | Request Ping -> Printf.sprintf "request PING id=%d" id
+  | Request (Decide d) -> Printf.sprintf "request DECIDE id=%d %s" id (decide_str d)
+  | Request (Batch items) ->
+      Printf.sprintf "request BATCH id=%d count=%d [%s]" id (List.length items)
+        (String.concat "; " (List.map decide_str items))
+  | Request Stats -> Printf.sprintf "request STATS id=%d" id
+  | Request Health -> Printf.sprintf "request HEALTH id=%d" id
+  | Request Shutdown -> Printf.sprintf "request SHUTDOWN id=%d" id
+  | Response Pong -> Printf.sprintf "response PONG id=%d" id
+  | Response (Verdict v) ->
+      Printf.sprintf "response VERDICT id=%d %s" id (verdict_str v)
+  | Response (Batch_verdict vs) ->
+      Printf.sprintf "response BATCH_VERDICT id=%d count=%d [%s]" id
+        (List.length vs)
+        (String.concat "; " (List.map verdict_str vs))
+  | Response (Stats_json s) -> Printf.sprintf "response STATS id=%d json=%s" id s
+  | Response (Health_json s) ->
+      Printf.sprintf "response HEALTH id=%d json=%s" id s
+  | Response Bye -> Printf.sprintf "response BYE id=%d" id
+  | Response (Error { code; message }) ->
+      Printf.sprintf "response ERROR id=%d code=%s message=%s" id
+        (error_code_name code) message

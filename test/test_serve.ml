@@ -1,0 +1,515 @@
+(* Tests for the serve layer: the stlb/1 frame codec (qcheck round-trip
+   and the PROTOCOL.md conformance vectors — the document's hex
+   examples are executed against the real codec, so the spec cannot
+   drift), the per-request seed rule, verdict determinism across server
+   restarts / worker counts / batching, backpressure (bounded queue and
+   batch/frame size limits shed loudly), and a malformed-frame fuzz
+   pass that the server must survive. *)
+
+module F = Serve.Frame
+module D = Problems.Decide
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* frame codec: qcheck round-trip *)
+
+let gen_id =
+  (* small ids plus the full 62-bit range *)
+  QCheck.Gen.(oneof [ int_bound 1000; map (fun i -> i land max_int) int ])
+
+let gen_instance = QCheck.Gen.(string_size (int_range 0 40))
+
+let gen_decide =
+  QCheck.Gen.(
+    map3
+      (fun problem algorithm instance -> { F.problem; algorithm; instance })
+      (oneofl [ D.Set_equality; D.Multiset_equality; D.Check_sort ])
+      (oneofl [ F.Reference; F.Sort; F.Fingerprint; F.Nst ])
+      gen_instance)
+
+let gen_verdict =
+  QCheck.Gen.(
+    map
+      (fun (verdict, audited, scans, internal, tapes) ->
+        { F.verdict; audited; scans; internal; tapes })
+      (tup5 bool bool (int_bound 0xFFFFFF) (int_bound 0xFFFFFF) (int_bound 64)))
+
+let gen_error_code =
+  QCheck.Gen.oneofl
+    [
+      F.Bad_version; F.Bad_type; F.Malformed; F.Too_large; F.Overloaded;
+      F.Budget; F.Audit_failed; F.Internal;
+    ]
+
+let gen_payload =
+  QCheck.Gen.(
+    oneof
+      [
+        return (F.Request F.Ping);
+        map (fun d -> F.Request (F.Decide d)) gen_decide;
+        map
+          (fun ds -> F.Request (F.Batch ds))
+          (list_size (int_range 0 5) gen_decide);
+        return (F.Request F.Stats);
+        return (F.Request F.Health);
+        return (F.Request F.Shutdown);
+        return (F.Response F.Pong);
+        map (fun v -> F.Response (F.Verdict v)) gen_verdict;
+        map
+          (fun vs -> F.Response (F.Batch_verdict vs))
+          (list_size (int_range 0 5) gen_verdict);
+        map (fun s -> F.Response (F.Stats_json s)) (string_size (int_range 0 60));
+        map (fun s -> F.Response (F.Health_json s)) (string_size (int_range 0 60));
+        return (F.Response F.Bye);
+        map2
+          (fun code message -> F.Response (F.Error { code; message }))
+          gen_error_code
+          (string_size (int_range 0 40));
+      ])
+
+let arb_msg =
+  QCheck.make ~print:F.describe
+    QCheck.Gen.(map2 (fun id payload -> { F.id; payload }) gen_id gen_payload)
+
+let prop_frame_round_trip =
+  QCheck.Test.make ~name:"frame encode/decode round-trip" ~count:1000 arb_msg
+    (fun m ->
+      let wire = F.encode m in
+      match F.decode wire ~pos:0 with
+      | F.Complete (m', consumed) -> m' = m && consumed = String.length wire
+      | F.Incomplete | F.Broken _ -> false)
+
+let prop_frame_streaming =
+  (* two frames back to back in one buffer, decoded from moving [pos];
+     every strict prefix of a frame is Incomplete, never Broken *)
+  QCheck.Test.make ~name:"framing survives concatenation and prefixes"
+    ~count:300
+    (QCheck.pair arb_msg arb_msg)
+    (fun (a, b) ->
+      let wa = F.encode a and wb = F.encode b in
+      let buf = wa ^ wb in
+      let first_ok =
+        match F.decode buf ~pos:0 with
+        | F.Complete (m, c) -> m = a && c = String.length wa
+        | _ -> false
+      in
+      let second_ok =
+        match F.decode buf ~pos:(String.length wa) with
+        | F.Complete (m, c) -> m = b && c = String.length wb
+        | _ -> false
+      in
+      let prefixes_ok =
+        let all = ref true in
+        for cut = 0 to String.length wa - 1 do
+          match F.decode (String.sub wa 0 cut) ~pos:0 with
+          | F.Incomplete -> ()
+          | _ -> all := false
+        done;
+        !all
+      in
+      first_ok && second_ok && prefixes_ok)
+
+(* ------------------------------------------------------------------ *)
+(* PROTOCOL.md conformance: execute the document's worked examples *)
+
+let strip_prefix ~prefix s =
+  let s = String.trim s in
+  if String.length s >= String.length prefix
+     && String.sub s 0 (String.length prefix) = prefix
+  then Some (String.trim (String.sub s (String.length prefix)
+                            (String.length s - String.length prefix)))
+  else None
+
+let bytes_of_hex hex =
+  let digits =
+    String.to_seq hex
+    |> Seq.filter (fun c -> c <> ' ')
+    |> List.of_seq
+  in
+  if List.length digits mod 2 <> 0 then failwith "odd hex digit count";
+  let b = Buffer.create (List.length digits / 2) in
+  let rec go = function
+    | [] -> ()
+    | hi :: lo :: rest ->
+        let v c =
+          match c with
+          | '0' .. '9' -> Char.code c - Char.code '0'
+          | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+          | _ -> failwith (Printf.sprintf "bad hex digit %c" c)
+        in
+        Buffer.add_char b (Char.chr ((v hi lsl 4) lor v lo));
+        go rest
+    | [ _ ] -> assert false
+  in
+  go digits;
+  Buffer.contents b
+
+let protocol_examples () =
+  let ic = open_in "../PROTOCOL.md" in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let rec scan acc = function
+    | [] -> List.rev acc
+    | line :: rest -> (
+        match strip_prefix ~prefix:"frame-hex:" line with
+        | None -> scan acc rest
+        | Some hex -> (
+            match rest with
+            | expect :: rest' -> (
+                match
+                  ( strip_prefix ~prefix:"parses-as:" expect,
+                    strip_prefix ~prefix:"breaks-as:" expect )
+                with
+                | Some p, _ -> scan ((hex, `Parses p) :: acc) rest'
+                | _, Some b -> scan ((hex, `Breaks b) :: acc) rest'
+                | None, None ->
+                    failwith
+                      ("frame-hex: line not followed by parses-as:/breaks-as:: "
+                     ^ hex))
+            | [] -> failwith "frame-hex: at end of document"))
+  in
+  scan [] (List.rev !lines)
+
+let test_protocol_conformance () =
+  let examples = protocol_examples () in
+  check "PROTOCOL.md carries worked examples" true (List.length examples >= 8);
+  List.iter
+    (fun (hex, expect) ->
+      let wire = bytes_of_hex hex in
+      match (F.decode wire ~pos:0, expect) with
+      | F.Complete (msg, consumed), `Parses p ->
+          check_string ("describe: " ^ p) p (F.describe msg);
+          check_int "consumed the whole frame" (String.length wire) consumed;
+          (* re-encoding the parsed message must reproduce the
+             document's bytes exactly — the codec has one canonical
+             encoding and the doc records it *)
+          check "re-encode is byte-identical" true (F.encode msg = wire)
+      | F.Broken { code; message; _ }, `Breaks b ->
+          check_string ("breaks: " ^ b) b (F.error_code_name code ^ " " ^ message)
+      | F.Complete (msg, _), `Breaks b ->
+          Alcotest.failf "expected broken %S, decoded %s" b (F.describe msg)
+      | F.Broken { code; message; _ }, `Parses p ->
+          Alcotest.failf "expected %S, broke with %s %s" p
+            (F.error_code_name code) message
+      | F.Incomplete, _ -> Alcotest.failf "example truncated: %s" hex)
+    examples
+
+let test_seed_rule () =
+  (* PROTOCOL.md §5: the per-request state IS the pool's chunk
+     derivation with the request id as index *)
+  List.iter
+    (fun (seed, id) ->
+      let a = Parallel.Rng.request_state ~server_seed:seed ~request_id:id in
+      let b = Parallel.Rng.state ~seed ~index:id in
+      for _ = 1 to 16 do
+        check_int "same draw" (Random.State.full_int a 1_000_000)
+          (Random.State.full_int b 1_000_000)
+      done)
+    [ (42, 0); (42, 1); (42, 12345); (0x5EED, 7); (1, F.max_id) ]
+
+(* ------------------------------------------------------------------ *)
+(* a live server, in-process *)
+
+let sock_ctr = ref 0
+
+let fresh_socket () =
+  incr sock_ctr;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "stlb-ts-%d-%d.sock" (Unix.getpid ()) !sock_ctr)
+
+let with_server ?(seed = 42) ?(domains = 1) ?(queue_bound = 128)
+    ?(max_batch = 64) ?(max_frame = F.default_max_frame) f =
+  let socket = fresh_socket () in
+  let cfg =
+    {
+      (Serve.Server.default ~socket) with
+      Serve.Server.seed;
+      domains;
+      queue_bound;
+      max_batch;
+      max_frame;
+    }
+  in
+  let ready = Atomic.make false in
+  let srv =
+    Domain.spawn (fun () ->
+        Serve.Server.run ~on_ready:(fun () -> Atomic.set ready true) cfg)
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.002
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         let c = Serve.Client.connect ~retries:3 socket in
+         Serve.Client.shutdown c ~id:0;
+         Serve.Client.close c
+       with _ -> ());
+      Domain.join srv)
+    (fun () -> f socket)
+
+let workload_ids = [ 0; 1; 2; 3; 4; 5; 6; 7; 11; 19 ]
+
+let collect socket =
+  let c = Serve.Client.connect socket in
+  let rs =
+    List.map
+      (fun id ->
+        let d = Serve.Loadgen.mixed_item ~seed:7 ~m:4 ~n:6 ~id in
+        ( id,
+          Serve.Client.decide c ~id ~problem:d.F.problem
+            ~algorithm:d.F.algorithm ~instance:d.F.instance ))
+      workload_ids
+  in
+  Serve.Client.close c;
+  rs
+
+let test_determinism_across_restarts_and_workers () =
+  let runs =
+    List.map
+      (fun domains -> with_server ~seed:42 ~domains collect)
+      [ 1; 3; 1 (* third run = a restart with the same seed *) ]
+  in
+  match runs with
+  | [ a; b; c ] ->
+      check "restart + worker-count parity" true (a = b && b = c);
+      (* every sort/fingerprint verdict passed its theorem-budget audit
+         server-side; NST may be an unaudited no-witness rejection *)
+      List.iter
+        (fun (id, r) ->
+          match r with
+          | Ok v ->
+              let d = Serve.Loadgen.mixed_item ~seed:7 ~m:4 ~n:6 ~id in
+              if d.F.algorithm = F.Sort || d.F.algorithm = F.Fingerprint then
+                check "audited" true v.F.audited
+          | Error (code, m) ->
+              Alcotest.failf "request %d errored: %s %s" id
+                (F.error_code_name code) m)
+        a
+  | _ -> assert false
+
+let test_batching_equivalence () =
+  with_server ~seed:42 @@ fun socket ->
+  let base = 100 in
+  let items =
+    List.map
+      (fun i -> Serve.Loadgen.mixed_item ~seed:7 ~m:4 ~n:6 ~id:(base + i))
+      [ 0; 1; 2; 3; 4 ]
+  in
+  let c = Serve.Client.connect socket in
+  let batched =
+    match Serve.Client.batch c ~id:base items with
+    | Ok vs -> vs
+    | Error (code, m) ->
+        Alcotest.failf "batch errored: %s %s" (F.error_code_name code) m
+  in
+  let singles =
+    List.mapi
+      (fun i (d : F.decide_body) ->
+        match
+          Serve.Client.decide c ~id:(base + i) ~problem:d.F.problem
+            ~algorithm:d.F.algorithm ~instance:d.F.instance
+        with
+        | Ok v -> v
+        | Error (code, m) ->
+            Alcotest.failf "singleton %d errored: %s %s" (base + i)
+              (F.error_code_name code) m)
+      items
+  in
+  Serve.Client.close c;
+  check "batch item i = singleton with id base+i" true (batched = singles)
+
+(* ------------------------------------------------------------------ *)
+(* backpressure *)
+
+let test_queue_bound_sheds_loudly () =
+  with_server ~queue_bound:2 @@ fun socket ->
+  let c = Serve.Client.connect socket in
+  let burst = 50 in
+  let wire = Buffer.create 1024 in
+  for id = 1 to burst do
+    Buffer.add_string wire (F.encode { F.id; payload = F.Request F.Ping })
+  done;
+  (* one write: the server's next read ingests the whole burst before
+     the queue drains, so everything past the bound must be shed *)
+  Serve.Client.send_raw c (Buffer.contents wire);
+  let pongs = ref 0 and shed = ref 0 in
+  for _ = 1 to burst do
+    match (Serve.Client.read_response c).F.payload with
+    | F.Response F.Pong -> incr pongs
+    | F.Response (F.Error { code = F.Overloaded; _ }) -> incr shed
+    | p -> Alcotest.failf "unexpected response %s" (F.describe { id = 0; payload = p })
+  done;
+  Serve.Client.close c;
+  check_int "every frame answered" burst (!pongs + !shed);
+  check "some pings served" true (!pongs >= 2);
+  check "overload shed loudly" true (!shed >= 1)
+
+let test_oversized_batch_rejected () =
+  with_server ~max_batch:4 @@ fun socket ->
+  let c = Serve.Client.connect socket in
+  let items =
+    List.init 6 (fun i -> Serve.Loadgen.mixed_item ~seed:7 ~m:4 ~n:6 ~id:i)
+  in
+  (match Serve.Client.batch c ~id:9 items with
+  | Error (F.Overloaded, _) -> ()
+  | Error (code, m) ->
+      Alcotest.failf "expected OVERLOADED, got %s %s" (F.error_code_name code) m
+  | Ok _ -> Alcotest.fail "oversized batch accepted");
+  (* the connection survives: the batch was shed, not the socket *)
+  check "connection still serves" true (Serve.Client.ping c ~id:10);
+  Serve.Client.close c
+
+let test_oversized_frame_closes_connection () =
+  with_server ~max_frame:256 @@ fun socket ->
+  let c = Serve.Client.connect socket in
+  let big =
+    {
+      F.id = 3;
+      payload =
+        F.Request
+          (F.Decide
+             {
+               F.problem = D.Multiset_equality;
+               algorithm = F.Reference;
+               instance = String.make 1000 '0';
+             });
+    }
+  in
+  Serve.Client.send_raw c (F.encode big);
+  (match (Serve.Client.read_response c).F.payload with
+  | F.Response (F.Error { code = F.Too_large; _ }) -> ()
+  | p -> Alcotest.failf "expected TOO_LARGE, got %s"
+           (F.describe { id = 0; payload = p }));
+  Serve.Client.close c;
+  (* framing was unrecoverable, so that connection is gone — but the
+     server is not: a fresh connection works *)
+  let c2 = Serve.Client.connect socket in
+  check "server survived" true (Serve.Client.ping c2 ~id:4);
+  Serve.Client.close c2
+
+(* ------------------------------------------------------------------ *)
+(* malformed-frame fuzz: the server never crashes *)
+
+let test_malformed_fuzz_never_kills_server () =
+  with_server @@ fun socket ->
+  let st = Random.State.make [| 0xF422 |] in
+  for _ = 1 to 60 do
+    let c = Serve.Client.connect socket in
+    let len = 1 + Random.State.int st 64 in
+    let garbage =
+      String.init len (fun _ -> Char.chr (Random.State.int st 256))
+    in
+    Serve.Client.send_raw c garbage;
+    Serve.Client.close c
+  done;
+  (* structured near-misses: valid header shapes with broken payloads *)
+  let near_misses =
+    [
+      (* announced payload shorter than the 10-byte header *)
+      "\x00\x00\x00\x04\x01\x01\x00\x00";
+      (* wrong version byte *)
+      "\x00\x00\x00\x0a\x02\x01\x00\x00\x00\x00\x00\x00\x00\x07";
+      (* unknown type byte *)
+      "\x00\x00\x00\x0a\x01\x7f\x00\x00\x00\x00\x00\x00\x00\x07";
+      (* PING with a non-empty body *)
+      "\x00\x00\x00\x0b\x01\x01\x00\x00\x00\x00\x00\x00\x00\x07\x00";
+      (* id with bit 63 set *)
+      "\x00\x00\x00\x0a\x01\x01\x80\x00\x00\x00\x00\x00\x00\x07";
+    ]
+  in
+  List.iter
+    (fun wire ->
+      let c = Serve.Client.connect socket in
+      Serve.Client.send_raw c wire;
+      (* each of these is answered with an ERROR frame, not silence *)
+      (match (Serve.Client.read_response c).F.payload with
+      | F.Response (F.Error _) -> ()
+      | p ->
+          Alcotest.failf "expected an error response, got %s"
+            (F.describe { id = 0; payload = p }));
+      Serve.Client.close c)
+    near_misses;
+  let c = Serve.Client.connect socket in
+  check "server alive after fuzz" true (Serve.Client.ping c ~id:99);
+  Serve.Client.close c
+
+(* ------------------------------------------------------------------ *)
+(* stats / health *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_stats_and_health () =
+  with_server ~seed:13 @@ fun socket ->
+  let c = Serve.Client.connect socket in
+  ignore (Serve.Client.ping c ~id:1);
+  let d = Serve.Loadgen.mixed_item ~seed:7 ~m:4 ~n:6 ~id:2 in
+  ignore
+    (Serve.Client.decide c ~id:2 ~problem:d.F.problem ~algorithm:d.F.algorithm
+       ~instance:d.F.instance);
+  let s = Serve.Client.stats c ~id:3 in
+  List.iter
+    (fun needle -> check ("stats has " ^ needle) true (contains ~needle s))
+    [ "\"pings\":1"; "\"decides\":1"; "\"counters\":{" ];
+  let h = Serve.Client.health c ~id:4 in
+  List.iter
+    (fun needle -> check ("health has " ^ needle) true (contains ~needle h))
+    [ "\"status\":\"ok\""; "\"seed\":13"; "\"device\":\"mem\"" ];
+  Serve.Client.close c
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "frame",
+        [
+          QCheck_alcotest.to_alcotest prop_frame_round_trip;
+          QCheck_alcotest.to_alcotest prop_frame_streaming;
+        ] );
+      ( "conformance",
+        [
+          Alcotest.test_case "PROTOCOL.md hex examples execute" `Quick
+            test_protocol_conformance;
+          Alcotest.test_case "seed rule = pool chunk derivation" `Quick
+            test_seed_rule;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "restarts and worker counts" `Slow
+            test_determinism_across_restarts_and_workers;
+          Alcotest.test_case "batching equivalence" `Quick
+            test_batching_equivalence;
+        ] );
+      ( "backpressure",
+        [
+          Alcotest.test_case "queue bound sheds loudly" `Quick
+            test_queue_bound_sheds_loudly;
+          Alcotest.test_case "oversized batch rejected" `Quick
+            test_oversized_batch_rejected;
+          Alcotest.test_case "oversized frame closes connection" `Quick
+            test_oversized_frame_closes_connection;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "malformed frames never kill the server" `Quick
+            test_malformed_fuzz_never_kills_server;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "stats and health JSON" `Quick
+            test_stats_and_health;
+        ] );
+    ]

@@ -10,7 +10,8 @@
 # ns/run exceeds the baseline by more than THRESHOLD_PCT (default 25)
 # is reported, and likewise an experiment table whose wall-clock
 # seconds (the "tables" section, present on full non-quick runs)
-# exceeds its baseline by the same margin. The script exits 0
+# exceeds its baseline by the same margin, and a serve scenario whose
+# p99 latency (the "serve" section) does. The script exits 0
 # regardless: CI runners are noisy shared machines, quick-quota
 # estimates doubly so, so the guard is a review signal, not a gate.
 # Missing-in-baseline benches/tables (new in this PR) are listed
@@ -86,9 +87,38 @@ while IFS=$'\t' read -r name fresh_s; do
   fi
 done < <(table_pairs "$fresh")
 
-total=$((regressions + table_regressions))
+# name<TAB>p99_us pairs from the serve scenarios (absent on
+# trajectories predating the serve section). p99 is the guarded
+# number: throughput wobbles with runner load, but a tail-latency jump
+# usually means a real queueing or decide-path regression.
+serve_pairs() {
+  jq -r '(.serve // [])[] | select(.p99_us != null)
+         | "\(.name)\t\(.p99_us)"' "$1"
+}
+
+serve_regressions=0
+while IFS=$'\t' read -r name fresh_us; do
+  [ -z "$name" ] && continue
+  base_us=$(serve_pairs "$baseline" | awk -F'\t' -v n="$name" '$1 == n { print $2 }')
+  if [ -z "$base_us" ]; then
+    printf '  NEW      %-34s %12.1f us p99 (no baseline)\n' "$name" "$fresh_us"
+    continue
+  fi
+  pct=$(awk -v f="$fresh_us" -v b="$base_us" \
+    'BEGIN { printf "%.1f", (f - b) / b * 100 }')
+  if awk -v p="$pct" -v t="$threshold" 'BEGIN { exit !(p > t) }'; then
+    printf '  WARN     %-34s %12.1f -> %12.1f us p99 (+%s%%)\n' \
+      "$name" "$base_us" "$fresh_us" "$pct"
+    serve_regressions=$((serve_regressions + 1))
+  else
+    printf '  ok       %-34s %12.1f -> %12.1f us p99 (%+s%%)\n' \
+      "$name" "$base_us" "$fresh_us" "$pct"
+  fi
+done < <(serve_pairs "$fresh")
+
+total=$((regressions + table_regressions + serve_regressions))
 if [ "$total" -gt 0 ]; then
-  echo "bench-guard: $regressions bench(es) and $table_regressions table(s) regressed beyond ${threshold}% - non-blocking, but worth a look"
+  echo "bench-guard: $regressions bench(es), $table_regressions table(s) and $serve_regressions serve scenario(s) regressed beyond ${threshold}% - non-blocking, but worth a look"
 else
   echo "bench-guard: no regressions beyond ${threshold}%"
 fi

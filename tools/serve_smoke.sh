@@ -1,0 +1,69 @@
+#!/bin/sh
+# Serve smoke: start a real out-of-process `stlb serve`, drive it with
+# the bounded deterministic loadgen, and require the verdict summary
+# (counts + workload fingerprint, timing line stripped) to be
+# byte-identical across -j 1/2/4, across a singleton-frame re-run of
+# the batched workload, and across a server restart. Each server is
+# stopped with a SHUTDOWN frame and must exit 0 - a worker crash or a
+# wedged accept loop fails the script, not just the diff.
+#
+# Usage: serve_smoke.sh STLB_EXE [WORKDIR]
+# Exits non-zero on the first divergence.
+set -u
+
+STLB=$1
+WORK=${2:-serve-smoke-work}
+rm -rf "$WORK"
+mkdir -p "$WORK"
+fail() { echo "serve-smoke: FAIL: $1" >&2; exit 1; }
+
+REQUESTS=80
+LOAD_SEED=7
+SERVER_SEED=42
+
+# The timing line (throughput/latency/wall) is the only
+# non-deterministic output; everything above it must be stable.
+strip_timing() { grep -v '^throughput:' "$1"; }
+
+run_one() { # run_one NAME JOBS BATCH
+  name=$1; jobs=$2; batch=$3
+  sock="$WORK/$name.sock"
+  "$STLB" serve --socket "$sock" --seed $SERVER_SEED -j "$jobs" \
+    >"$WORK/$name.server.log" 2>&1 &
+  pid=$!
+  # the client retries connect until the listener is up, so no sleep
+  # loop is needed here - but bail early if the server died at startup
+  "$STLB" loadgen --socket "$sock" --seed $LOAD_SEED \
+    --requests $REQUESTS --batch "$batch" --shutdown \
+    >"$WORK/$name.out" 2>&1 ||
+    { kill "$pid" 2>/dev/null; fail "$name: loadgen failed"; }
+  wait "$pid" || fail "$name: server did not exit cleanly after SHUTDOWN"
+  strip_timing "$WORK/$name.out" >"$WORK/$name.stable"
+}
+
+# verdict parity across worker counts (batched frames)
+for j in 1 2 4; do
+  run_one "j$j" "$j" 4
+done
+cmp -s "$WORK/j1.stable" "$WORK/j2.stable" || fail "-j 1 vs -j 2 diverged"
+cmp -s "$WORK/j1.stable" "$WORK/j4.stable" || fail "-j 1 vs -j 4 diverged"
+
+# batching equivalence: the same ids in singleton DECIDE frames must
+# produce the same verdicts (frame count differs, so compare only the
+# verdict + fingerprint lines)
+run_one "singleton" 2 1
+for f in j1 singleton; do
+  grep -E '^(verdicts|workload fingerprint):' "$WORK/$f.stable" \
+    >"$WORK/$f.verdicts"
+done
+cmp -s "$WORK/j1.verdicts" "$WORK/singleton.verdicts" ||
+  fail "batched vs singleton frames diverged"
+
+# restart determinism: a fresh server process with the same seed must
+# reproduce the fingerprint bit for bit
+run_one "restart" 2 4
+cmp -s "$WORK/j2.stable" "$WORK/restart.stable" ||
+  fail "restart diverged from first run"
+
+fp=$(grep '^workload fingerprint:' "$WORK/j1.stable")
+echo "serve-smoke: OK ($REQUESTS requests x 5 servers, $fp)"
