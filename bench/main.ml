@@ -93,6 +93,27 @@ let micro_tests () =
       ~blank:'_' ~name:"crc-bench"
   in
   let crc_slots = (1 lsl 16) / 4 in
+  (* the query front-end: a join-shaped comprehension over two 24-row
+     binary relations, measured at each stage - parse alone, the full
+     compile + tape execution + per-node audit, the naive in-memory
+     oracle it is differentially checked against, and one complete
+     fuzz case (generate env + query, run both sides, compare) *)
+  let q_env : Query.Naive.env =
+    let rows tag =
+      List.init 24 (fun i ->
+          [ Printf.sprintf "%s%02d" tag (i mod 12); string_of_int (i * 7 mod 24) ])
+    in
+    [
+      ("qr", (2, List.sort_uniq compare (rows "a")));
+      ("qs", (2, List.sort_uniq compare (List.map List.rev (rows "b"))));
+    ]
+  in
+  let q_src = "(qr o qs) + [ <y, x> | <x, y> <- qr, x == \"a01\" ]" in
+  let q_expr =
+    match Query.Parser.parse_expr_string q_src with
+    | Ok e -> e
+    | Error _ -> assert false
+  in
   [
     Test.make ~name:"fingerprint-multiset-eq-m64"
       (Staged.stage (fun () -> ignore (Fingerprint.run st fp_inst)));
@@ -142,6 +163,15 @@ let micro_tests () =
            ignore
              (Parallel.Pool.monte_carlo_count pool4 ~trials:100 ~seed:7
                 (fun st -> Random.State.bool st))));
+    Test.make ~name:"query-parse-compose-join"
+      (Staged.stage (fun () -> ignore (Query.Parser.parse_expr_string q_src)));
+    Test.make ~name:"query-exec-compose-join"
+      (Staged.stage (fun () -> ignore (Query.Exec.run ~env:q_env q_expr)));
+    Test.make ~name:"query-naive-oracle"
+      (Staged.stage (fun () -> ignore (Query.Naive.eval q_env q_expr)));
+    Test.make ~name:"query-fuzz-case"
+      (Staged.stage (fun () ->
+           ignore (Query.Fuzz.run_case ~seed:11 ~index:0 ())));
   ]
 
 (* (name, ns/run estimate) per micro-benchmark *)

@@ -752,6 +752,179 @@ let simulate_cmd =
   let doc = "Run the Lemma 16 TM->list-machine simulation and render the LM run." in
   Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ inputs_arg)
 
+(* ------------------------------------------------------------------ *)
+
+let query_device_arg =
+  let doc =
+    "Tape cell storage for compiled query plans: $(b,mem), $(b,file) or \
+     $(b,shard). Results, scan counts and audit verdicts are \
+     backend-independent."
+  in
+  Arg.(
+    value
+    & opt (Arg.enum [ ("mem", `Mem); ("file", `File); ("shard", `Shard) ]) `Mem
+    & info [ "device" ] ~docv:"DEV" ~doc)
+
+let query_block_size_arg =
+  let doc = "Cache block size in bytes for $(b,--device file)." in
+  Arg.(value & opt int 65536 & info [ "block-size" ] ~docv:"BYTES" ~doc)
+
+let query_spill_dir_arg =
+  let doc = "Directory for device backing files." in
+  Arg.(value & opt (some string) None & info [ "spill-dir" ] ~docv:"DIR" ~doc)
+
+let query_device ~tag dev block_size spill_dir =
+  let spill () =
+    match spill_dir with
+    | Some d -> d
+    | None ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "stlb-%s-spill-%d" tag (Unix.getpid ()))
+  in
+  match dev with
+  | `Mem -> Tape.Device.Mem
+  | `File ->
+      Tape.Device.file_spec ~block_bytes:block_size ~cache_blocks:16 (spill ())
+  | `Shard ->
+      Tape.Device.shard_spec ~shard_bytes:(16 * block_size) ~cache_shards:2
+        (spill ())
+
+let fuzz_exit =
+  Cmd.Exit.info 4
+    ~doc:
+      "the differential query fuzzer found a discrepancy between a compiled \
+       plan and the naive oracle; the shrunk counterexample is in the report."
+
+let query_exits = fuzz_exit :: exits
+
+let query_cmd =
+  let run seed jobs program file fuzz iters report_file inject dev block_size
+      spill_dir trace no_budget =
+    let device = query_device ~tag:"query" dev block_size spill_dir in
+    if inject then Query.Compile.swap_compose := true;
+    if fuzz then begin
+      let pool =
+        match jobs with
+        | Some d when d > 1 -> Some (Parallel.Pool.create ~domains:d ())
+        | _ -> None
+      in
+      let dev_opt = match device with Tape.Device.Mem -> None | s -> Some s in
+      let c = Query.Fuzz.run_campaign ?pool ?device:dev_opt ~seed ~iters () in
+      let rep = Query.Fuzz.report c in
+      print_string rep;
+      (match report_file with
+      | None -> ()
+      | Some f ->
+          Out_channel.with_open_text f (fun oc -> output_string oc rep));
+      if c.Query.Fuzz.mismatches > 0 then exit 4
+    end
+    else begin
+      let src =
+        match (program, file) with
+        | Some p, _ -> p
+        | None, Some f -> In_channel.with_open_text f In_channel.input_all
+        | None, None -> In_channel.input_all stdin
+      in
+      let st =
+        Query.Repl.create ~device ~out:(Buffer.output_buffer stdout) ()
+      in
+      (match trace with
+      | None -> ()
+      | Some p -> st.Query.Repl.trace <- Some (Obs.Trace.open_file p));
+      if no_budget then st.Query.Repl.budget <- false;
+      Query.Repl.do_program st src;
+      Query.Repl.close st;
+      if st.Query.Repl.failed then exit 1
+    end
+  in
+  let program_arg =
+    let doc =
+      "Program text: statements separated by $(b,;) (e.g. \
+       'r = [<1,10>, <2,20>]; [ <y> | <x,y> <- r, x == 1 ]'). \
+       Read from $(b,--file), else stdin, if omitted."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+  in
+  let file_arg =
+    let doc = "Read the program from $(docv)." in
+    Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"FILE" ~doc)
+  in
+  let fuzz_arg =
+    let doc =
+      "Run the differential fuzzer instead of a program: generate seeded \
+       random (environment, query) cases, run each compiled plan on the \
+       tape substrate and cross-check the naive in-memory oracle. Any \
+       mismatch is shrunk to a minimal self-contained program and the run \
+       exits 4. The campaign fingerprint is bit-identical for every \
+       $(b,-j) and device."
+    in
+    Arg.(value & flag & info [ "fuzz" ] ~doc)
+  in
+  let iters_arg =
+    let doc = "Fuzz cases to run." in
+    Arg.(value & opt int 200 & info [ "iters" ] ~docv:"N" ~doc)
+  in
+  let report_arg =
+    let doc = "Also write the fuzz campaign report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let inject_arg =
+    let doc =
+      "Deliberately miscompile composition (swapped operands) - the \
+       negative control proving the fuzzer catches a planted planner bug."
+    in
+    Arg.(value & flag & info [ "inject-swap-compose" ] ~doc)
+  in
+  let no_budget_arg =
+    let doc =
+      "Report per-node audit failures without failing the run (the \
+       default treats any node over its Theorem 11-13 scan budget as an \
+       error)."
+    in
+    Arg.(value & flag & info [ "no-budget" ] ~doc)
+  in
+  let doc =
+    "Evaluate a list-relation query program on the tape substrate (every \
+     plan node audited against its theorem budget, every result \
+     cross-checked against a naive oracle), or fuzz the compiler with \
+     $(b,--fuzz)."
+  in
+  Cmd.v (Cmd.info "query" ~doc ~exits:query_exits)
+    Term.(
+      const run $ seed_arg $ jobs_arg $ program_arg $ file_arg $ fuzz_arg
+      $ iters_arg $ report_arg $ inject_arg $ query_device_arg
+      $ query_block_size_arg $ query_spill_dir_arg $ trace_arg $ no_budget_arg)
+
+let repl_cmd =
+  let run batch dev block_size spill_dir =
+    let device = query_device ~tag:"repl" dev block_size spill_dir in
+    let st =
+      Query.Repl.create ~device ~out:(Buffer.output_buffer stdout) ()
+    in
+    let tty = (not batch) && Unix.isatty Unix.stdin in
+    (* piped input always echoes, so a transcript is self-contained *)
+    Query.Repl.drive st ~echo:(not tty) ~prompt:tty stdin;
+    if st.Query.Repl.failed then exit 1
+  in
+  let batch_arg =
+    let doc =
+      "Force batch mode even on a tty: no prompt is printed eagerly; \
+       instead every input line is echoed after a $(b,query> ) prefix, \
+       making the output a self-contained transcript (what the golden \
+       tests diff)."
+    in
+    Arg.(value & flag & info [ "batch" ] ~doc)
+  in
+  let doc =
+    "Interactive query session. Directives: $(b,:load FILE), $(b,:budget \
+     on|off), $(b,:trace FILE|off), $(b,:env), $(b,:help), $(b,:quit)."
+  in
+  Cmd.v (Cmd.info "repl" ~doc ~exits)
+    Term.(
+      const run $ batch_arg $ query_device_arg $ query_block_size_arg
+      $ query_spill_dir_arg)
+
 let () =
   let doc =
     "Randomized computations on large data sets: tight lower bounds (PODS'06) \
@@ -761,9 +934,9 @@ let () =
   let group =
     Cmd.group info
       [
-        gen_cmd; decide_cmd; adversary_cmd; experiment_cmd; serve_cmd;
-        loadgen_cmd; classes_cmd; sortedness_cmd; trace_cmd; simulate_cmd;
-        scrub_cmd;
+        gen_cmd; decide_cmd; query_cmd; repl_cmd; adversary_cmd;
+        experiment_cmd; serve_cmd; loadgen_cmd; classes_cmd; sortedness_cmd;
+        trace_cmd; simulate_cmd; scrub_cmd;
       ]
   in
   (* a tripped resource budget, a full disk or exhausted retries on

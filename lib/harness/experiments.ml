@@ -1558,6 +1558,98 @@ let exp20 () =
     \  (Scale with STLB_E20_REQUESTS / STLB_E20_BATCH; the committed\n\
     \  numbers use the defaults.)"
 
+let exp21 () =
+  (* The differential query fuzzer as an experiment: seeded random
+     well-typed list-relation queries, each compiled to an audited
+     relalg/xmlq plan and executed on the tape substrate, then
+     cross-checked against the naive in-memory oracle. Case [index]
+     depends only on (seed, index), so the campaign fingerprint must be
+     bit-identical across worker counts and devices — same contract as
+     E18/E20, now for the whole query front-end. The last row is the
+     negative control: the same campaign with the planted swap-compose
+     planner bug, which must produce mismatches and a shrunk minimal
+     counterexample. Scale with STLB_E21_ITERS (the committed numbers
+     use the default). *)
+  let iters =
+    match Sys.getenv_opt "STLB_E21_ITERS" with
+    | Some v -> ( try max 10 (int_of_string v) with Failure _ -> 400)
+    | None -> 400
+  in
+  let seed = 2021 in
+  let spill =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stlb-e21-%d" (Unix.getpid ()))
+  in
+  let t =
+    T.create
+      ~title:
+        (Printf.sprintf
+           "E21 [query fuzzer]  compiled tape plans vs the naive oracle \
+            (seed = %d, iters = %d)"
+           seed iters)
+      ~columns:
+        [
+          "config"; "matches"; "mismatches"; "audit fails"; "plan nodes";
+          "scans"; "fingerprint";
+        ]
+  in
+  let fingerprints = ref [] in
+  let first_shrunk = ref None in
+  let row ~name ?pool ?device ~clean () =
+    let c = Query.Fuzz.run_campaign ?pool ?device ~seed ~iters () in
+    if clean then fingerprints := c.Query.Fuzz.fingerprint :: !fingerprints
+    else
+      first_shrunk :=
+        (match c.Query.Fuzz.discrepancies with
+        | d :: _ -> Some d.Query.Fuzz.d_program
+        | [] -> None);
+    T.add_row t
+      [
+        name;
+        string_of_int c.Query.Fuzz.matches;
+        string_of_int c.Query.Fuzz.mismatches;
+        string_of_int c.Query.Fuzz.audit_failures;
+        string_of_int c.Query.Fuzz.total_plan_nodes;
+        string_of_int c.Query.Fuzz.total_scans;
+        Printf.sprintf "0x%016Lx" c.Query.Fuzz.fingerprint;
+      ]
+  in
+  row ~name:"mem -j 1" ~clean:true ();
+  row ~name:"mem -j 2" ~pool:(Parallel.Pool.create ~domains:2 ()) ~clean:true ();
+  row ~name:"mem -j 4" ~pool:(Parallel.Pool.create ~domains:4 ()) ~clean:true ();
+  row ~name:"file"
+    ~device:(Tape.Device.file_spec ~block_bytes:4096 ~cache_blocks:4 spill)
+    ~clean:true ();
+  row ~name:"shard"
+    ~device:(Tape.Device.shard_spec ~shard_bytes:8192 ~cache_shards:2 spill)
+    ~clean:true ();
+  (* negative control: plant the swap-compose bug in the planner and
+     require the fuzzer to notice *)
+  Query.Compile.swap_compose := true;
+  Fun.protect
+    ~finally:(fun () -> Query.Compile.swap_compose := false)
+    (fun () -> row ~name:"mem + planted bug" ~clean:false ());
+  T.print t;
+  (try Unix.rmdir spill with Unix.Unix_error _ -> ());
+  let total = List.length !fingerprints in
+  let distinct = List.sort_uniq Int64.compare !fingerprints in
+  Printf.printf "  parity: %d clean worker/device rows -> %d/%d fingerprints %s\n"
+    total total total
+    (if List.length distinct = 1 then "IDENTICAL" else "MISMATCH");
+  (match !first_shrunk with
+  | Some p -> Printf.printf "  planted-bug counterexample (shrunk): %s\n" p
+  | None -> print_endline "  planted-bug counterexample: NOT CAUGHT");
+  print_endline
+    "  expected: zero mismatches and zero audit failures on every clean row,\n\
+    \  one fingerprint across -j 1/2/4 and mem/file/shard (case [index] of\n\
+    \  stream [seed] is a function of (seed, index) alone, and the E18 device\n\
+    \  contract keeps scan counts backend-blind); the planted swap-compose\n\
+    \  row must show mismatches > 0 with a shrunk self-contained\n\
+    \  counterexample program. Plan-node and scan totals restate the E17\n\
+    \  story at campaign scale: every executed node stayed inside its\n\
+    \  Theorem 11-13 budget.\n\
+    \  (Scale with STLB_E21_ITERS; the committed numbers use the default.)"
+
 let all : (string * (unit -> unit)) list =
   [
     ("exp1", exp1);
@@ -1580,6 +1672,7 @@ let all : (string * (unit -> unit)) list =
     ("exp18", exp18);
     ("exp19", exp19);
     ("exp20", exp20);
+    ("exp21", exp21);
   ]
 
 let run_all ?checkpoint () =

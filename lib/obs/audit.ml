@@ -101,3 +101,48 @@ let nst_spec =
     internal = Some (At_most 8);
     tapes = Some (At_most 2);
   }
+
+(* Theorem 11(a): each relational-algebra operator of a fixed query is
+   a constant number of scans plus sorting steps, so O(log N) scans
+   per plan node. The constant absorbs intermediate blow-up: a product
+   chain of depth d sorts streams of up to N^d cells, multiplying the
+   8·log2+16 single-sort envelope by d. The query layer bounds plans
+   to product depth ≤ 4 (comprehensions take at most three
+   generators), so 4 × (2 sorts + merge + copies) fits under
+   64·⌈log2 N⌉ + 96. Only scans are bounded: the node-level meter and
+   tape counts are owned by the whole-plan specs below. *)
+let relalg_node_spec =
+  {
+    name = "relalg operator (Thm 11a)";
+    scans = Some (Log2 { per_log2 = 64.0; offset = 96.0 });
+    internal = None;
+    tapes = None;
+  }
+
+(* Theorem 11(b): the symmetric-difference query
+   Q' = (R1 − R2) ∪ (R2 − R1) — two diffs and a union, each two
+   sorted copies (8·log2+16 apiece) plus a merge scan, over streams
+   never longer than N. Tapes: 2 inputs + 3 ops × (2 sorted copies,
+   each with 2 sort auxiliaries, + 1 output). Internal: the evaluator
+   pins 8 meter units; the in-flight sort adds its own transient
+   registers. *)
+let relalg_symdiff_spec =
+  {
+    name = "relalg symdiff (Thm 11b)";
+    scans = Some (Log2 { per_log2 = 80.0; offset = 200.0 });
+    internal = Some (At_most 24);
+    tapes = Some (At_most 40);
+  }
+
+(* Theorem 13 upper bound (via Corollary 7): the Figure 1 filter on a
+   serialized instance document — one extraction scan, two half-sorts
+   of the string multisets (8·log2+16 each, multiset size < stream
+   length), one merged subset-test scan. Tapes: stream + two string
+   tapes + 2 sort auxiliaries each. *)
+let xpath_filter_spec =
+  {
+    name = "xpath filter (Thm 13)";
+    scans = Some (Log2 { per_log2 = 16.0; offset = 40.0 });
+    internal = Some (At_most 16);
+    tapes = Some (At_most 8);
+  }

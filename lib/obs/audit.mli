@@ -76,3 +76,23 @@ val mergesort_spec : spec
 val nst_spec : spec
 (** Theorem 8(b) verifier: at most 3 scans, [O(1)] registers, 2
     external tapes. *)
+
+val relalg_node_spec : spec
+(** Theorem 11(a), per plan node: each relational-algebra operator of
+    a fixed query costs [O(log N)] scans exclusive of its subtrees —
+    [64·⌈log2 N⌉ + 96], the constant sized for plans of product depth
+    at most 4 (the query layer's bound) whose intermediates reach
+    [N^4] cells. Scans only; the whole-plan specs own meter and tape
+    counts. The query executor audits every [Relalg.eval_streaming]
+    profile delta against this envelope. *)
+
+val relalg_symdiff_spec : spec
+(** Theorem 11(b): the full symmetric-difference plan
+    [(R1 − R2) ∪ (R2 − R1)] — [80·⌈log2 N⌉ + 200] scans (three
+    sort-based set operators at two [8·log2+16] half-sorts plus a
+    merge each), at most 24 meter units and 40 tapes. *)
+
+val xpath_filter_spec : spec
+(** Theorem 13's upper-bound side: the streaming Figure 1 filter —
+    [16·⌈log2 N⌉ + 40] scans (extraction scan, two half-sorts, subset
+    test) at stream length [N], 16 meter units, 8 tapes. *)

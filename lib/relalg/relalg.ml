@@ -221,15 +221,30 @@ let write_at tp pos x =
   seek tp pos;
   Tape.write tp x
 
-let fresh_counter = ref 0
+(* Atomic so concurrent streaming runs (the query fuzzer fans over a
+   domain pool) never hand two tapes the same name. *)
+let fresh_counter = Atomic.make 0
 
-let fresh_tape g =
-  incr fresh_counter;
-  Tape.Group.tape g ~name:(Printf.sprintf "op%d" !fresh_counter) ~blank:"" ()
+(* Evaluation context: the tape group plus the two optional hooks the
+   query layer threads in — a byte codec (opting every intermediate
+   tape into the group's device spec) and a per-node profile callback
+   receiving (operator label, scans spent by that node exclusive of
+   its children). *)
+type ctx = {
+  g : Tape.Group.t;
+  codec : string Tape.Device.Codec.t option;
+  prof : string -> int -> unit;
+}
+
+let fresh_tape ctx =
+  let id = Atomic.fetch_and_add fresh_counter 1 + 1 in
+  Tape.Group.tape ctx.g ?codec:ctx.codec
+    ~name:(Printf.sprintf "op%d" id)
+    ~blank:"" ()
 
 (* one-pass transform: read each cell, emit zero or more cells *)
-let map_stream g s ~schema ~f =
-  let out = fresh_tape g in
+let map_stream ctx s ~schema ~f =
+  let out = fresh_tape ctx in
   let written = ref 0 in
   for i = 0 to s.len - 1 do
     List.iter
@@ -240,15 +255,15 @@ let map_stream g s ~schema ~f =
   done;
   { tape = out; len = !written; sschema = schema }
 
-let sorted_copy g s =
-  let out = map_stream g s ~schema:s.sschema ~f:(fun c -> [ c ]) in
-  if out.len > 1 then Extsort.sort_tape g out.tape ~len:out.len;
+let sorted_copy ctx s =
+  let out = map_stream ctx s ~schema:s.sschema ~f:(fun c -> [ c ]) in
+  if out.len > 1 then Extsort.sort_tape ?codec:ctx.codec ctx.g out.tape ~len:out.len;
   out
 
 (* merge two sorted streams; [emit] decides, per distinct key, given
    (present_in_a, present_in_b), whether the tuple is in the output *)
-let merge_set_op g a b ~emit =
-  let out = fresh_tape g in
+let merge_set_op ctx a b ~emit =
+  let out = fresh_tape ctx in
   let written = ref 0 in
   let push c =
     write_at out !written c;
@@ -292,8 +307,8 @@ let merge_set_op g a b ~emit =
   { tape = out; len = !written; sschema = a.sschema }
 
 (* n1 concatenated copies of the whole stream, by doubling appends *)
-let repeat_whole g s ~times =
-  let out = map_stream g s ~schema:s.sschema ~f:(fun c -> [ c ]) in
+let repeat_whole ctx s ~times =
+  let out = map_stream ctx s ~schema:s.sschema ~f:(fun c -> [ c ]) in
   let copies = ref (if s.len = 0 then times else 1) in
   let written = ref out.len in
   while !copies < times do
@@ -308,12 +323,12 @@ let repeat_whole g s ~times =
   { out with len = !written }
 
 (* every cell repeated [times] in place, by doubling passes *)
-let stretch_each g s ~times =
-  let cur = ref (map_stream g s ~schema:s.sschema ~f:(fun c -> [ c ])) in
+let stretch_each ctx s ~times =
+  let cur = ref (map_stream ctx s ~schema:s.sschema ~f:(fun c -> [ c ])) in
   let rep = ref 1 in
   while !rep < times do
     if 2 * !rep <= times then begin
-      cur := map_stream g !cur ~schema:s.sschema ~f:(fun c -> [ c; c ]);
+      cur := map_stream ctx !cur ~schema:s.sschema ~f:(fun c -> [ c; c ]);
       rep := 2 * !rep
     end
     else begin
@@ -321,7 +336,7 @@ let stretch_each g s ~times =
       let keep = times - !rep in
       let count = ref 0 in
       cur :=
-        map_stream g !cur ~schema:s.sschema ~f:(fun c ->
+        map_stream ctx !cur ~schema:s.sschema ~f:(fun c ->
             let k = !count mod !rep in
             count := !count + 1;
             if k < keep then [ c; c ] else [ c ]);
@@ -330,112 +345,174 @@ let stretch_each g s ~times =
   done;
   !cur
 
-let rec eval_stream g db = function
+(* [profiled ctx label f]: run the node body [f] (children already
+   evaluated) and report the scans it spent, exclusive of subtrees. *)
+let profiled ctx label f =
+  let s0 = Tape.Group.scans ctx.g in
+  let r = f () in
+  ctx.prof label (Tape.Group.scans ctx.g - s0);
+  r
+
+let rec eval_stream ctx db = function
   | Rel name ->
       let r = lookup db name in
       let cells = List.map encode_tuple r.tuples in
       let tape =
-        incr fresh_counter;
-        Tape.Group.tape_of_list g
-          ~name:(Printf.sprintf "in-%s%d" name !fresh_counter)
+        let id = Atomic.fetch_and_add fresh_counter 1 + 1 in
+        Tape.Group.tape_of_list ctx.g ?codec:ctx.codec
+          ~name:(Printf.sprintf "in-%s%d" name id)
           ~blank:"" cells
       in
+      ctx.prof "input" 0;
       { tape; len = List.length cells; sschema = r.schema }
   | Select (p, e) ->
-      let s = eval_stream g db e in
-      map_stream g s ~schema:s.sschema ~f:(fun c ->
-          if eval_pred s.sschema (decode_tuple c) p then [ c ] else [])
+      let s = eval_stream ctx db e in
+      profiled ctx "select" (fun () ->
+          map_stream ctx s ~schema:s.sschema ~f:(fun c ->
+              if eval_pred s.sschema (decode_tuple c) p then [ c ] else []))
   | Project (attrs, e) ->
-      let s = eval_stream g db e in
-      let schema = project_schema s.sschema attrs in
-      let idxs = List.map (attr_index s.sschema) attrs in
-      let projected =
-        map_stream g s ~schema ~f:(fun c ->
-            let t = decode_tuple c in
-            [ encode_tuple (Array.of_list (List.map (fun i -> t.(i)) idxs)) ])
-      in
-      (* projection can create duplicates: sort + dedup scan *)
-      let sorted = sorted_copy g projected in
-      let prev = ref None in
-      map_stream g sorted ~schema ~f:(fun c ->
-          match !prev with
-          | Some p when String.equal p c -> []
-          | Some _ | None ->
-              prev := Some c;
-              [ c ])
+      let s = eval_stream ctx db e in
+      profiled ctx "project" (fun () ->
+          let schema = project_schema s.sschema attrs in
+          let idxs = List.map (attr_index s.sschema) attrs in
+          let projected =
+            map_stream ctx s ~schema ~f:(fun c ->
+                let t = decode_tuple c in
+                [ encode_tuple (Array.of_list (List.map (fun i -> t.(i)) idxs)) ])
+          in
+          (* projection can create duplicates: sort + dedup scan *)
+          let sorted = sorted_copy ctx projected in
+          let prev = ref None in
+          map_stream ctx sorted ~schema ~f:(fun c ->
+              match !prev with
+              | Some p when String.equal p c -> []
+              | Some _ | None ->
+                  prev := Some c;
+                  [ c ]))
   | Rename (renames, e) ->
-      let s = eval_stream g db e in
+      let s = eval_stream ctx db e in
+      ctx.prof "rename" 0;
       { s with sschema = rename_schema s.sschema renames }
   | Union (a, b) ->
-      let sa = eval_stream g db a and sb = eval_stream g db b in
+      let sa = eval_stream ctx db a and sb = eval_stream ctx db b in
       if sa.sschema <> sb.sschema then invalid_arg "Relalg: union schemas";
-      merge_set_op g (sorted_copy g sa) (sorted_copy g sb) ~emit:(fun _ _ -> true)
+      profiled ctx "union" (fun () ->
+          merge_set_op ctx (sorted_copy ctx sa) (sorted_copy ctx sb)
+            ~emit:(fun _ _ -> true))
   | Diff (a, b) ->
-      let sa = eval_stream g db a and sb = eval_stream g db b in
+      let sa = eval_stream ctx db a and sb = eval_stream ctx db b in
       if sa.sschema <> sb.sschema then invalid_arg "Relalg: difference schemas";
-      merge_set_op g (sorted_copy g sa) (sorted_copy g sb)
-        ~emit:(fun ina inb -> ina && not inb)
+      profiled ctx "diff" (fun () ->
+          merge_set_op ctx (sorted_copy ctx sa) (sorted_copy ctx sb)
+            ~emit:(fun ina inb -> ina && not inb))
   | Inter (a, b) ->
-      let sa = eval_stream g db a and sb = eval_stream g db b in
+      let sa = eval_stream ctx db a and sb = eval_stream ctx db b in
       if sa.sschema <> sb.sschema then invalid_arg "Relalg: intersection schemas";
-      merge_set_op g (sorted_copy g sa) (sorted_copy g sb)
-        ~emit:(fun ina inb -> ina && inb)
+      profiled ctx "inter" (fun () ->
+          merge_set_op ctx (sorted_copy ctx sa) (sorted_copy ctx sb)
+            ~emit:(fun ina inb -> ina && inb))
   | Product (a, b) ->
-      let sa = eval_stream g db a and sb = eval_stream g db b in
-      let schema = product_schema { schema = sa.sschema; tuples = [] }
-          { schema = sb.sschema; tuples = [] } in
-      if sa.len = 0 || sb.len = 0 then
-        { tape = fresh_tape g; len = 0; sschema = schema }
-      else begin
-        let left = stretch_each g sa ~times:sb.len in
-        let right = repeat_whole g sb ~times:sa.len in
-        (* zip: left cell k pairs with right cell k *)
-        let out = fresh_tape g in
-        for k = 0 to left.len - 1 do
-          let ta = decode_tuple (read_at left.tape k) in
-          let tb = decode_tuple (read_at right.tape k) in
-          write_at out k (encode_tuple (Array.append ta tb))
-        done;
-        { tape = out; len = left.len; sschema = schema }
-      end
+      let sa = eval_stream ctx db a and sb = eval_stream ctx db b in
+      profiled ctx "product" (fun () ->
+          let schema = product_schema { schema = sa.sschema; tuples = [] }
+              { schema = sb.sschema; tuples = [] } in
+          if sa.len = 0 || sb.len = 0 then
+            { tape = fresh_tape ctx; len = 0; sschema = schema }
+          else begin
+            let left = stretch_each ctx sa ~times:sb.len in
+            let right = repeat_whole ctx sb ~times:sa.len in
+            (* zip: left cell k pairs with right cell k *)
+            let out = fresh_tape ctx in
+            for k = 0 to left.len - 1 do
+              let ta = decode_tuple (read_at left.tape k) in
+              let tb = decode_tuple (read_at right.tape k) in
+              write_at out k (encode_tuple (Array.append ta tb))
+            done;
+            { tape = out; len = left.len; sschema = schema }
+          end)
   | Join (keys, a, b) ->
-      let sa = eval_stream g db a and sb = eval_stream g db b in
-      let renames, selection, out_schema = join_plan keys sa.sschema sb.sschema in
-      (* glue: re-expose the two sub-results as relations of a local db
-         and desugar; their tuples re-enter through fresh input tapes of
-         the same group, so the accounting stays complete *)
-      let rel_of s =
-        {
-          schema = s.sschema;
-          tuples = List.init s.len (fun i -> decode_tuple (read_at s.tape i));
-        }
-      in
-      eval_stream g
-        [ ("join.a", rel_of sa); ("join.b", rel_of sb) ]
-        (Project
-           ( out_schema,
-             Select (selection, Product (Rel "join.a", Rename (renames, Rel "join.b")))
-           ))
+      let sa = eval_stream ctx db a and sb = eval_stream ctx db b in
+      profiled ctx "join" (fun () ->
+          let renames, selection, out_schema =
+            join_plan keys sa.sschema sb.sschema
+          in
+          (* glue: re-expose the two sub-results as relations of a local
+             db and desugar; their tuples re-enter through fresh input
+             tapes of the same group, so the accounting stays complete.
+             The desugared subtree runs unprofiled: its cost is the join
+             node's own. *)
+          let rel_of s =
+            {
+              schema = s.sschema;
+              tuples = List.init s.len (fun i -> decode_tuple (read_at s.tape i));
+            }
+          in
+          eval_stream { ctx with prof = (fun _ _ -> ()) }
+            [ ("join.a", rel_of sa); ("join.b", rel_of sb) ]
+            (Project
+               ( out_schema,
+                 Select
+                   (selection, Product (Rel "join.a", Rename (renames, Rel "join.b")))
+               )))
 
 let db_size db = List.fold_left (fun acc (_, r) -> acc + List.length r.tuples) 0 db
 
-let eval_streaming db expr =
-  let g = Tape.Group.create () in
-  let meter = Tape.Group.meter g in
-  let result =
-    Tape.Meter.with_units meter 8 (fun () ->
-        let s = eval_stream g db expr in
-        let tuples = List.init s.len (fun i -> decode_tuple (read_at s.tape i)) in
-        relation ~schema:s.sschema tuples)
+(* Static byte bound for one encoded cell anywhere in the plan: every
+   atom written to a tape comes from the database (predicates only
+   compare constants, they never emit them), and products/joins only
+   concatenate leaf widths — so (sum of leaf widths) × (longest atom +
+   1 separator) bounds every intermediate cell. Used to derive the
+   fixed-width codec a byte-backed device needs. *)
+let max_cell_bytes db expr =
+  let max_atom =
+    List.fold_left
+      (fun acc (_, r) ->
+        List.fold_left
+          (fun acc t -> Array.fold_left (fun acc v -> max acc (String.length v)) acc t)
+          acc r.tuples)
+      1 db
   in
-  let rep = Tape.Group.report g in
-  ( result,
-    {
-      n = db_size db;
-      scans = rep.Tape.Group.scans_used;
-      registers = rep.Tape.Group.internal_peak_units;
-      tapes = List.length rep.Tape.Group.reversals_by_tape;
-    } )
+  let rec leaf_width = function
+    | Rel name -> List.length (lookup db name).schema
+    | Select (_, e) | Project (_, e) | Rename (_, e) -> leaf_width e
+    | Union (a, b) | Diff (a, b) | Inter (a, b) | Product (a, b)
+    | Join (_, a, b) ->
+        leaf_width a + leaf_width b
+  in
+  let width = max 1 (leaf_width expr) in
+  width * (max_atom + 1)
+
+let eval_streaming ?device ?observe ?profile db expr =
+  let g = Tape.Group.create ?device () in
+  (match observe with None -> () | Some f -> f g);
+  let codec =
+    match Tape.Group.device g with
+    | Tape.Device.Mem -> None
+    | _ -> Some (Tape.Device.Codec.tuple_string ~max_len:(max_cell_bytes db expr))
+  in
+  let ctx =
+    { g; codec; prof = (match profile with None -> fun _ _ -> () | Some f -> f) }
+  in
+  let meter = Tape.Group.meter g in
+  Fun.protect
+    ~finally:(fun () -> Tape.Group.close_all g)
+    (fun () ->
+      let result =
+        Tape.Meter.with_units meter 8 (fun () ->
+            let s = eval_stream ctx db expr in
+            let tuples =
+              List.init s.len (fun i -> decode_tuple (read_at s.tape i))
+            in
+            relation ~schema:s.sschema tuples)
+      in
+      let rep = Tape.Group.report g in
+      ( result,
+        {
+          n = db_size db;
+          scans = rep.Tape.Group.scans_used;
+          registers = rep.Tape.Group.internal_peak_units;
+          tapes = List.length rep.Tape.Group.reversals_by_tape;
+        } ))
 
 let instance_db inst =
   let half h = List.map (fun v -> [| Util.Bitstring.to_string v |]) (Array.to_list h) in

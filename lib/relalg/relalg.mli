@@ -61,11 +61,27 @@ val eval : db -> expr -> relation
 
 type report = { n : int; scans : int; registers : int; tapes : int }
 
-val eval_streaming : db -> expr -> relation * report
+val eval_streaming :
+  ?device:Tape.Device.spec ->
+  ?observe:(Tape.Group.t -> unit) ->
+  ?profile:(string -> int -> unit) ->
+  db -> expr -> relation * report
 (** Evaluate with every tuple movement going through metered tapes:
     inputs are loaded as streams; each operator materializes its output
     on a fresh tape of the same group. The report's [n] is the total
-    number of input tuples. *)
+    number of input tuples.
+
+    [device] selects the backend for every tape of the run (default
+    mem); under a byte-backed spec all intermediate tapes use a
+    fixed-width tuple codec sized by a static pass over [db] and
+    [expr]. [observe] is called with the tape group right after
+    creation — the seam for attaching an {!Obs.Ledger.Recorder} without
+    a [relalg → obs] dependency. [profile] receives, for each plan
+    node in post-order, its operator label ([input], [select],
+    [project], [rename], [union], [diff], [inter], [product], [join])
+    and the scans that node spent exclusive of its children — the query
+    layer audits each delta against the Theorem 11 per-operator budget.
+    All tapes are closed (backing files deleted) before returning. *)
 
 val db_size : db -> int
 (** Total number of tuples. *)

@@ -32,7 +32,7 @@ val ping : t -> id:int -> bool
 val decide :
   t ->
   id:int ->
-  problem:Problems.Decide.problem ->
+  problem:Frame.problem ->
   algorithm:Frame.algorithm ->
   instance:string ->
   (Frame.verdict, Frame.error_code * string) result

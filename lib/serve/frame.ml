@@ -12,8 +12,17 @@ let default_max_frame = 1 lsl 20
 
 type algorithm = Reference | Sort | Fingerprint | Nst
 
+(* The wire problem space: the three core decision problems plus the
+   two query-layer reductions (Theorem 11(b)'s relational symmetric
+   difference and Theorem 13's Figure 1 XPath filter). All five take
+   the same {0,1,#} instance encoding. *)
+type problem =
+  | Core of Problems.Decide.problem
+  | Relalg_symdiff
+  | Xpath_filter
+
 type decide_body = {
-  problem : Problems.Decide.problem;
+  problem : problem;
   algorithm : algorithm;
   instance : string;
 }
@@ -74,15 +83,24 @@ let t_bye = 0x86
 let t_error = 0xEE
 
 let problem_byte = function
-  | Problems.Decide.Set_equality -> 0x01
-  | Problems.Decide.Multiset_equality -> 0x02
-  | Problems.Decide.Check_sort -> 0x03
+  | Core Problems.Decide.Set_equality -> 0x01
+  | Core Problems.Decide.Multiset_equality -> 0x02
+  | Core Problems.Decide.Check_sort -> 0x03
+  | Relalg_symdiff -> 0x04
+  | Xpath_filter -> 0x05
 
 let problem_of_byte = function
-  | 0x01 -> Some Problems.Decide.Set_equality
-  | 0x02 -> Some Problems.Decide.Multiset_equality
-  | 0x03 -> Some Problems.Decide.Check_sort
+  | 0x01 -> Some (Core Problems.Decide.Set_equality)
+  | 0x02 -> Some (Core Problems.Decide.Multiset_equality)
+  | 0x03 -> Some (Core Problems.Decide.Check_sort)
+  | 0x04 -> Some Relalg_symdiff
+  | 0x05 -> Some Xpath_filter
   | _ -> None
+
+let problem_name = function
+  | Core p -> Problems.Decide.problem_name p
+  | Relalg_symdiff -> "RELALG-SYMDIFF"
+  | Xpath_filter -> "XPATH-FILTER"
 
 let algorithm_byte = function
   | Reference -> 0x01
@@ -396,7 +414,7 @@ let describe ({ id; payload } : msg) =
   in
   let decide_str (d : decide_body) =
     Printf.sprintf "problem=%s algorithm=%s instance=%s"
-      (Problems.Decide.problem_name d.problem)
+      (problem_name d.problem)
       (algorithm_name d.algorithm) d.instance
   in
   match payload with

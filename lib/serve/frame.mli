@@ -27,8 +27,22 @@ val max_id : int
 
 type algorithm = Reference | Sort | Fingerprint | Nst
 
+(** The wire problem space (PROTOCOL.md §3): the three core decision
+    problems plus two query-layer reductions — [Relalg_symdiff] (byte
+    [0x04]) decides SET-EQUALITY by evaluating Theorem 11(b)'s
+    [(R1−R2) ∪ (R2−R1)] through the streaming relational-algebra
+    evaluator, and [Xpath_filter] (byte [0x05]) decides "is some
+    [set1] string missing from [set2]?" by running Theorem 13's Figure
+    1 XPath filter over the Section 4 instance document. All five take
+    the same [{0,1,#}] instance encoding; the query problems accept
+    only the [reference] and [sort] algorithms. *)
+type problem =
+  | Core of Problems.Decide.problem
+  | Relalg_symdiff
+  | Xpath_filter
+
 type decide_body = {
-  problem : Problems.Decide.problem;
+  problem : problem;
   algorithm : algorithm;
   instance : string;  (** the [{0,1,#}] instance encoding, raw bytes *)
 }
@@ -114,6 +128,7 @@ val describe : msg -> string
     PROTOCOL.md's worked examples pair each hex dump with exactly this
     string, and the conformance test compares them verbatim. *)
 
-val problem_byte : Problems.Decide.problem -> int
+val problem_byte : problem -> int
+val problem_name : problem -> string
 val algorithm_byte : algorithm -> int
 val algorithm_name : algorithm -> string

@@ -26,7 +26,11 @@ let mixed_item ~seed ~m ~n ~id : Frame.decide_body =
     if yes then Problems.Generators.yes_instance st problem ~m ~n
     else Problems.Generators.no_instance st problem ~m ~n
   in
-  { Frame.problem; algorithm; instance = Problems.Instance.encode inst }
+  {
+    Frame.problem = Frame.Core problem;
+    algorithm;
+    instance = Problems.Instance.encode inst;
+  }
 
 (* FNV-1a, 64-bit *)
 let fnv_init = 0xcbf29ce484222325L

@@ -58,8 +58,9 @@ let extract input tx ty =
   if !in_tag then invalid_arg "Stream_filter: unterminated tag";
   (!nx, !ny)
 
-let with_extracted stream f =
+let with_extracted ?observe stream f =
   let g = Tape.Group.create () in
+  (match observe with None -> () | Some f -> f g);
   let meter = Tape.Group.meter g in
   let input =
     Tape.Group.tape_of_list g ~name:"stream" ~blank:' '
@@ -83,9 +84,9 @@ let with_extracted stream f =
       tapes = List.length rep.Tape.Group.reversals_by_tape;
     } )
 
-let figure1_filter stream =
+let figure1_filter ?observe stream =
   (* does some set1 string miss from set2? (one selected node exists) *)
-  with_extracted stream (fun tx nx ty ny ->
+  with_extracted ?observe stream (fun tx nx ty ny ->
       let missing = ref false in
       let j = ref 0 in
       for i = 0 to nx - 1 do
@@ -97,9 +98,9 @@ let figure1_filter stream =
       done;
       !missing)
 
-let theorem12_query stream =
+let theorem12_query ?observe stream =
   (* set equality of the two sides: compare deduplicated sorted streams *)
-  with_extracted stream (fun tx nx ty ny ->
+  with_extracted ?observe stream (fun tx nx ty ny ->
       let next_distinct tp len i =
         let v = read_at tp i in
         let j = ref (i + 1) in

@@ -1,0 +1,2 @@
+# loaded by repl_session.in via :load - statements only
+q1 = r + [<4, 400>]

@@ -26,7 +26,11 @@ let gen_decide =
   QCheck.Gen.(
     map3
       (fun problem algorithm instance -> { F.problem; algorithm; instance })
-      (oneofl [ D.Set_equality; D.Multiset_equality; D.Check_sort ])
+      (oneofl
+         [
+           F.Core D.Set_equality; F.Core D.Multiset_equality;
+           F.Core D.Check_sort; F.Relalg_symdiff; F.Xpath_filter;
+         ])
       (oneofl [ F.Reference; F.Sort; F.Fingerprint; F.Nst ])
       gen_instance)
 
@@ -329,6 +333,75 @@ let test_batching_equivalence () =
   check "batch item i = singleton with id base+i" true (batched = singles)
 
 (* ------------------------------------------------------------------ *)
+(* the query-layer wire problems (0x04 relalg-symdiff, 0x05 xpath-filter) *)
+
+let test_query_problems_on_the_wire () =
+  with_server ~seed:42 @@ fun socket ->
+  let c = Serve.Client.connect socket in
+  let st = Random.State.make [| 0x94 |] in
+  let cases =
+    (* (problem, instance, expected verdict): relalg-symdiff is YES iff
+       the halves are equal as sets; xpath-filter is YES iff some set1
+       string is missing from set2 — opposite polarity on the same
+       yes/no generator pairs *)
+    let yes = Problems.Generators.yes_instance st D.Set_equality ~m:4 ~n:6 in
+    let no = Problems.Generators.no_instance st D.Set_equality ~m:4 ~n:6 in
+    [
+      (F.Relalg_symdiff, yes, true);
+      (F.Relalg_symdiff, no, false);
+      (F.Xpath_filter, yes, false);
+      (F.Xpath_filter, no, true);
+    ]
+  in
+  List.iteri
+    (fun i (problem, inst, expected) ->
+      let instance = Problems.Instance.encode inst in
+      (* reference and sort agree, and the sort run is audited against
+         its Theorem 11(b)/Theorem 13 budget server-side *)
+      let reference =
+        match
+          Serve.Client.decide c ~id:(10 + i) ~problem ~algorithm:F.Reference
+            ~instance
+        with
+        | Ok v -> v
+        | Error (code, m) ->
+            Alcotest.failf "reference errored: %s %s" (F.error_code_name code) m
+      in
+      let sort =
+        match
+          Serve.Client.decide c ~id:(20 + i) ~problem ~algorithm:F.Sort
+            ~instance
+        with
+        | Ok v -> v
+        | Error (code, m) ->
+            Alcotest.failf "sort errored: %s %s" (F.error_code_name code) m
+      in
+      check "expected verdict" true (reference.F.verdict = expected);
+      check "reference/sort parity" true (sort.F.verdict = expected);
+      check "reference unaudited" true (not reference.F.audited);
+      check "sort audited" true sort.F.audited;
+      check "sort did tape work" true (sort.F.scans > 0))
+    cases;
+  (* the query problems reject the multiset algorithms loudly *)
+  let inst =
+    Problems.Instance.encode
+      (Problems.Generators.yes_instance st D.Set_equality ~m:3 ~n:4)
+  in
+  List.iter
+    (fun (problem, algorithm) ->
+      match Serve.Client.decide c ~id:77 ~problem ~algorithm ~instance:inst with
+      | Error (F.Malformed, _) -> ()
+      | Error (code, m) ->
+          Alcotest.failf "expected MALFORMED, got %s %s"
+            (F.error_code_name code) m
+      | Ok _ -> Alcotest.fail "fingerprint/nst accepted a query problem")
+    [
+      (F.Relalg_symdiff, F.Fingerprint); (F.Relalg_symdiff, F.Nst);
+      (F.Xpath_filter, F.Fingerprint); (F.Xpath_filter, F.Nst);
+    ];
+  Serve.Client.close c
+
+(* ------------------------------------------------------------------ *)
 (* backpressure *)
 
 let test_queue_bound_sheds_loudly () =
@@ -379,7 +452,7 @@ let test_oversized_frame_closes_connection () =
         F.Request
           (F.Decide
              {
-               F.problem = D.Multiset_equality;
+               F.problem = F.Core D.Multiset_equality;
                algorithm = F.Reference;
                instance = String.make 1000 '0';
              });
@@ -492,6 +565,8 @@ let () =
             test_determinism_across_restarts_and_workers;
           Alcotest.test_case "batching equivalence" `Quick
             test_batching_equivalence;
+          Alcotest.test_case "query problems on the wire" `Quick
+            test_query_problems_on_the_wire;
         ] );
       ( "backpressure",
         [
