@@ -50,6 +50,12 @@ val cell_shape : cell -> shape
 val cell_of_syms : sym list -> cell
 (** Build a leaf cell from an explicit symbol string. *)
 
+val written_cell : state:int -> comps:cell array -> choice:int -> cell
+(** The forced-write node [a⟨x_1⟩…⟨x_t⟩⟨c⟩] of Definition 24(c) — the
+    cell {!step} writes under every head whenever some head moves or
+    turns. Exposed so {!Plan}'s pilot builds bit-identical cells
+    without paying {!step}'s array splices. *)
+
 val syms_of_cell : cell -> sym list
 (** Flattened view: the full symbol string. Cost [cell_size]. *)
 

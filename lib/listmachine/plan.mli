@@ -11,9 +11,16 @@
     script as an {!Nlm.t}: state = step index, one extra rejecting sink
     entered when a check fails at run time.
 
-    Because the pilot uses the same step function as the real run, every
+    The pilot mirrors {!Nlm.step} decision for decision (same clamps,
+    forced writes via {!Nlm.written_cell}, splice placement and id
+    numbering), but keeps each list as a doubly-linked cell sequence so
+    the per-step cost is O(lists) instead of an O(list length) array
+    splice — Definition 24(c) writes into every resting list each step,
+    so long plans grow long lists and the array pilot went quadratic
+    (~14 s to plan the m = 64 staircase; milliseconds here). Every
     plan-time observation (cell contents, head positions, list lengths)
-    is guaranteed to hold at run time. *)
+    is guaranteed to hold at run time; the listmachine test suite pins
+    pilot observations against replayed {!Nlm.step} configurations. *)
 
 type 'v check = values:'v array -> cells:Nlm.cell array -> bool
 (** A runtime predicate over the resolved values visible in the cells

@@ -35,6 +35,17 @@ type snapshot = {
       (** close/remove failures during device close; each one is a
           potentially leaked spill file, surfaced so it is never
           invisible *)
+  census_classes : int;
+      (** distinct skeleton classes interned by the Lemma 21 census
+          ([Skeleton.Intern], any backend) *)
+  census_canonical_hits : int;
+      (** machine runs the adversary's canonical-form memo answered
+          without replaying the machine *)
+  census_spill_reads : int;  (** slot reads against a spill-backed intern store *)
+  census_spill_writes : int;  (** slot writes into a spill-backed intern store *)
+  census_spill_bytes : int;  (** payload bytes written to spill-backed intern stores *)
+  census_shard_merges : int;
+      (** shard evidence files folded by [Adversary.Shard.merge] *)
 }
 
 val zero : snapshot
@@ -65,3 +76,9 @@ val add_pool_degraded_spawns : int -> unit
 val add_checkpoint_stored : int -> unit
 val add_checkpoint_replayed : int -> unit
 val add_checkpoint_discarded : int -> unit
+val add_census_classes : int -> unit
+val add_census_canonical_hits : int -> unit
+val add_census_spill_reads : int -> unit
+val add_census_spill_writes : int -> unit
+val add_census_spill_bytes : int -> unit
+val add_census_shard_merges : int -> unit

@@ -462,6 +462,50 @@ let prop_view_run_matches_run =
            (fun a b -> Array.length a = Array.length b && Array.for_all2 Nlm.cell_equal a b)
            last.Nlm.contents final.Nlm.contents)
 
+(* The linked-list pilot must report exactly what a real [Nlm.step]
+   replay of the built script produces: same positions, directions,
+   reversal totals, cell identities and list lengths. Cell contents are
+   compared through their input-position sets — a plan-time forced
+   write carries state 0 where the replay carries the step index, and
+   the position set is precisely the abstraction plan-time checks are
+   allowed to rely on. *)
+let prop_plan_pilot_matches_replay =
+  QCheck.Test.make ~name:"plan pilot agrees with an Nlm.step replay" ~count:60
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let m = 4 + Random.State.int st 3 in
+      let p = Plan.create ~lists:2 ~input_length:m () in
+      for _ = 1 to 12 + Random.State.int st 16 do
+        match Random.State.int st 4 with
+        | 0 -> Plan.pause p ()
+        | _ -> (
+            let tau = 1 + Random.State.int st 2 in
+            let dir = if Random.State.bool st then 1 else -1 in
+            try Plan.advance p ~tau ~dir with Invalid_argument _ -> Plan.pause p ())
+      done;
+      let machine = Plan.build p ~name:"pilot-parity" ~accept_at_end:true in
+      let values = values_for st m in
+      let tr = Nlm.run machine ~values ~choices:(fun _ -> 0) in
+      let last = tr.Nlm.configs.(Array.length tr.Nlm.configs - 1) in
+      let lists = Array.length last.Nlm.pos in
+      last.Nlm.pos = Plan.positions p
+      && last.Nlm.head_dir = Plan.dirs p
+      && Array.fold_left ( + ) 0 last.Nlm.revs = Plan.reversals_planned p
+      && List.for_all
+           (fun tau ->
+             let ids = last.Nlm.ids.(tau - 1) in
+             Array.length ids = Plan.list_length p tau
+             && Plan.id_at p ~tau = ids.((Plan.positions p).(tau - 1) - 1)
+             && Array.for_all Fun.id
+                  (Array.mapi
+                     (fun i0 id -> Plan.id_at_index p ~tau ~index:(i0 + 1) = id)
+                     ids))
+           (List.init lists (fun t -> t + 1))
+      && Array.for_all2
+           (fun a b -> Nlm.cell_input_positions a = Nlm.cell_input_positions b)
+           (Nlm.current_cells last) (Plan.cells p))
+
 let prop_intern_matches_structural_equality =
   QCheck.Test.make
     ~name:"interned id equality coincides with structural skeleton equality"
@@ -487,6 +531,52 @@ let prop_intern_matches_structural_equality =
         (fun (ida, a) ->
           List.for_all (fun (idb, b) -> (ida = idb) = Skeleton.equal a b) ids)
         ids)
+
+let prop_intern_spill_matches_ram =
+  QCheck.Test.make
+    ~name:"spill-backed intern ids match the RAM table on the same stream"
+    ~count:20
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let st = Random.State.make [| seed + 91 |] in
+      (* the same interleaved stream of repeats and fresh classes, fed
+         to both tiers; a 2-deep front forces the spill table through
+         its bloom/slot-probe path on most lookups *)
+      let sks =
+        List.concat_map
+          (fun k ->
+            let m, machine = random_plan (seed + k) ~with_check:false in
+            List.init 3 (fun _ ->
+                let values = values_for st m in
+                Skeleton.of_views (Nlm.run_view machine ~values ~choices:(fun _ -> 0))))
+          [ 0; 1; 2; 0; 1 ]
+      in
+      let ram = Skeleton.Intern.create () in
+      let dir =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "stlb-intern-prop-%d-%d" (Unix.getpid ()) seed)
+      in
+      let spill =
+        Skeleton.Intern.create
+          ~backend:
+            (Skeleton.Intern.Spill
+               {
+                 spec = Tape.Device.file_spec ~block_bytes:4096 ~cache_blocks:4 dir;
+                 recent = 2;
+               })
+          ()
+      in
+      let ids_agree =
+        List.for_all
+          (fun sk ->
+            fst (Skeleton.Intern.intern ram sk)
+            = fst (Skeleton.Intern.intern spill sk))
+          sks
+      in
+      let counts_agree = Skeleton.Intern.count ram = Skeleton.Intern.count spill in
+      Skeleton.Intern.close spill;
+      ids_agree && counts_agree)
 
 let prop_random_plans_composition_never_violated =
   QCheck.Test.make
@@ -633,6 +723,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_random_plans_obey_bounds;
           QCheck_alcotest.to_alcotest prop_random_plans_skeleton_oblivious;
           QCheck_alcotest.to_alcotest prop_view_run_matches_run;
+          QCheck_alcotest.to_alcotest prop_plan_pilot_matches_replay;
+          QCheck_alcotest.to_alcotest prop_intern_spill_matches_ram;
           QCheck_alcotest.to_alcotest prop_intern_matches_structural_equality;
           QCheck_alcotest.to_alcotest prop_random_plans_composition_never_violated;
         ] );

@@ -107,6 +107,68 @@ let test_attack_worker_parity () =
   check "fooled at 2 chains" true
     (String.length reference > 7 && String.sub reference 0 7 = "fooled:")
 
+(* ------------------------------------------------------------------ *)
+(* Census scaling levers: canonical-form reduction and sharding *)
+
+let prop_canonicalize_idempotent =
+  QCheck.Test.make ~name:"canonicalization is idempotent and key-preserving"
+    ~count:60
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let st = Random.State.make [| seed + 3 |] in
+      let inst =
+        if seed mod 2 = 0 then G.Checkphi.yes st space else G.Checkphi.no st space
+      in
+      let c = Adv.canonicalize inst in
+      Adv.canonical_key c = Adv.canonical_key inst
+      && Problems.Instance.encode (Adv.canonicalize c) = Problems.Instance.encode c)
+
+let prop_canon_preserves_outcome =
+  QCheck.Test.make
+    ~name:"canonical memoization never changes the verdict or fingerprint"
+    ~count:8
+    QCheck.(int_bound 10000)
+    (fun root ->
+      let machine = Machines.staircase_checkphi ~space ~chains:2 ~optimistic:true in
+      let census canon =
+        Adv.attack_census ~seed:root ~canon
+          (Random.State.make [| 1 |])
+          ~space ~machine ()
+      in
+      let on = census true and off = census false in
+      Int64.equal on.Adv.fingerprint off.Adv.fingerprint
+      && outcome_fingerprint on.Adv.outcome = outcome_fingerprint off.Adv.outcome
+      (* the lever saved work without changing a bit of the verdict *)
+      && on.Adv.machine_runs < off.Adv.machine_runs)
+
+let prop_shard_merge_matches_direct =
+  QCheck.Test.make
+    ~name:"shard merge equals the unsharded census for any (seed, k)" ~count:6
+    QCheck.(pair (int_bound 10000) (int_range 1 5))
+    (fun (root, k) ->
+      let machine = Machines.staircase_checkphi ~space ~chains:2 ~optimistic:true in
+      let direct =
+        Adv.attack_census ~seed:root (Random.State.make [| 1 |]) ~space ~machine ()
+      in
+      let evs =
+        List.init k (fun i ->
+            Adv.Shard.collect ~root ~space ~machine ~shard:(i + 1) ~of_:k ())
+      in
+      let merged = Adv.Shard.merge ~space ~machine evs in
+      Int64.equal direct.Adv.fingerprint merged.Adv.fingerprint
+      && outcome_fingerprint direct.Adv.outcome
+         = outcome_fingerprint merged.Adv.outcome)
+
+let prop_evidence_roundtrip =
+  QCheck.Test.make ~name:"shard evidence survives to_string/of_string" ~count:10
+    QCheck.(int_bound 10000)
+    (fun root ->
+      let machine = Machines.random_chain_checkphi ~space in
+      let ev = Adv.Shard.collect ~root ~space ~machine ~shard:1 ~of_:2 () in
+      let ev' = Adv.Shard.of_string (Adv.Shard.to_string ev) in
+      ev' = ev
+      && Int64.equal (Adv.Shard.fingerprint ev') (Adv.Shard.fingerprint ev))
+
 let test_verify_fooled_rejects_others () =
   let machine = Machines.blind ~input_length:16 ~accept:true in
   check "not-fooled does not verify" false
@@ -344,6 +406,10 @@ let () =
             test_verify_fooled_rejects_others;
           Alcotest.test_case "worker-count parity" `Quick
             test_attack_worker_parity;
+          QCheck_alcotest.to_alcotest prop_canonicalize_idempotent;
+          QCheck_alcotest.to_alcotest prop_canon_preserves_outcome;
+          QCheck_alcotest.to_alcotest prop_shard_merge_matches_direct;
+          QCheck_alcotest.to_alcotest prop_evidence_roundtrip;
         ] );
       ( "composition",
         [
